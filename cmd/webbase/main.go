@@ -1,0 +1,116 @@
+// Command webbase runs ad hoc universal-relation queries against the
+// simulated car-shopping Web.
+//
+// Usage:
+//
+//	webbase [-plan] [-stats] [-latency] "SELECT Make, Price WHERE Make = 'jaguar' AND Price < BBPrice AND Condition = 'good'"
+//	webbase -attrs          # list the universal relation's attributes
+//	webbase -objects        # list the maximal objects
+//
+// The query language is the structured universal relation interface of
+// Section 6: name output attributes, constrain others; the system figures
+// out which sites to navigate and in what order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"webbase"
+)
+
+func main() {
+	var (
+		showPlan    = flag.Bool("plan", false, "print the query plan (maximal objects and covers)")
+		explain     = flag.Bool("explain", false, "explain the query (plan, bindings, handles) without fetching, then exit")
+		showStats   = flag.Bool("stats", false, "print fetch statistics")
+		withLatency = flag.Bool("latency", false, "simulate network latency (sleeping)")
+		listAttrs   = flag.Bool("attrs", false, "list the universal relation's attributes and exit")
+		listObjects = flag.Bool("objects", false, "list the maximal objects and exit")
+		domain      = flag.String("domain", "usedcars", "application domain: usedcars or apartments")
+	)
+	flag.Parse()
+
+	var cfg webbase.Config
+	if *withLatency {
+		cfg.Latency = webbase.DefaultLatency
+		cfg.Latency.Sleep = true
+	}
+	var (
+		sys *webbase.System
+		err error
+	)
+	switch *domain {
+	case "usedcars":
+		cfg.Fetcher = webbase.NewSimulatedWorld().Server
+		sys, err = webbase.New(cfg)
+	case "apartments":
+		cfg.Fetcher = webbase.NewApartmentWorld().Server
+		sys, err = webbase.NewApartments(cfg)
+	default:
+		err = fmt.Errorf("unknown domain %q (usedcars or apartments)", *domain)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *listAttrs:
+		fmt.Println("UsedCarUR attributes:")
+		for _, a := range sys.UR.Hierarchy.AllAttrs() {
+			fmt.Println("  " + a)
+		}
+		return
+	case *listObjects:
+		fmt.Println("Maximal objects:")
+		for _, o := range sys.UR.MaximalObjects() {
+			fmt.Println("  " + strings.Join(o, " ⋈ "))
+		}
+		return
+	}
+
+	query := strings.Join(flag.Args(), " ")
+	if strings.TrimSpace(query) == "" {
+		fmt.Fprintln(os.Stderr, "usage: webbase [flags] \"SELECT attrs WHERE conditions\"")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	parsed, err := webbase.ParseQuery(sys, query)
+	if err != nil {
+		fatal(err)
+	}
+	if *explain {
+		out, err := sys.Explain(parsed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+	res, stats, err := sys.Query(parsed)
+	if err != nil {
+		fatal(err)
+	}
+	if *showPlan {
+		fmt.Println(res.Plan)
+	}
+	out := res.Relation
+	if len(parsed.OrderBy) == 0 {
+		out = out.SortBy(out.Schema()...) // stable default presentation
+	}
+	fmt.Print(out)
+	fmt.Printf("(%d answers)\n", res.Relation.Len())
+	for _, s := range res.Skipped {
+		fmt.Printf("note: skipped %s\n", s)
+	}
+	if *showStats {
+		fmt.Println(stats)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "webbase:", err)
+	os.Exit(1)
+}

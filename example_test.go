@@ -1,0 +1,73 @@
+package webbase_test
+
+import (
+	"fmt"
+	"log"
+
+	"webbase"
+)
+
+// Example runs the paper's headline query end to end against the built-in
+// simulated Web: used jaguars, 1993 or later, good safety rating, selling
+// below blue book. The simulated datasets are seeded, so the counts are
+// reproducible.
+func Example() {
+	world := webbase.NewSimulatedWorld()
+	sys, err := webbase.New(webbase.Config{Fetcher: world.Server})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, _, err := sys.QueryString(
+		"SELECT Make, Model, Year, Price, BBPrice " +
+			"WHERE Make = 'jaguar' AND Year >= 1993 AND Safety = 'good' " +
+			"AND Condition = 'good' AND Price < BBPrice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d bargain jaguars found\n", res.Relation.Len())
+	fmt.Printf("planned over %d maximal objects\n", len(res.Plan.Objects))
+	// Output:
+	// 75 bargain jaguars found
+	// planned over 2 maximal objects
+}
+
+// Example_orderAndLimit shows the presentation clauses of the query
+// language.
+func Example_orderAndLimit() {
+	world := webbase.NewSimulatedWorld()
+	sys, err := webbase.New(webbase.Config{Fetcher: world.Server})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, _, err := sys.QueryString(
+		"SELECT Make, Model, Year, Price WHERE Make = 'saab' ORDER BY Price LIMIT 3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range res.Relation.Tuples() {
+		model, _ := res.Relation.Get(t, "Model")
+		year, _ := res.Relation.Get(t, "Year")
+		price, _ := res.Relation.Get(t, "Price")
+		fmt.Printf("saab %v, %v: $%v\n", model, year, price)
+	}
+	// Output:
+	// saab 9000, 1988: $6137
+	// saab 9000, 1989: $7157
+	// saab 9000, 1989: $7869
+}
+
+// Example_maximalObjects lists the compatible site combinations the
+// structured universal relation plans over.
+func Example_maximalObjects() {
+	world := webbase.NewSimulatedWorld()
+	sys, err := webbase.New(webbase.Config{Fetcher: world.Server})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, obj := range sys.UR.MaximalObjects() {
+		fmt.Println(obj)
+	}
+	// Output:
+	// [BluePrice Classifieds Interest Reviews Safety]
+	// [BluePrice Dealers Interest Reviews Safety]
+}

@@ -1,0 +1,65 @@
+// Overhttp demonstrates that the webbase is indifferent to where the raw
+// Web lives: the simulated sites are served over real HTTP sockets
+// (net/http + virtual hosting on the Host header), and the webbase
+// navigates them through an HTTP client fetcher — the same code path a
+// deployment against live sites would use.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+
+	"webbase"
+	"webbase/internal/web"
+)
+
+func main() {
+	world := webbase.NewSimulatedWorld()
+
+	// Serve the whole simulated Web on one real socket. The empty host
+	// makes the handler dispatch on the Host header, so all twelve
+	// virtual hosts share the listener.
+	ts := httptest.NewServer(web.HTTPHandler(world.Server, "http", ""))
+	defer ts.Close()
+	fmt.Println("simulated Web listening on", ts.URL)
+
+	// The fetcher rewrites virtual-host URLs to the real listener while
+	// preserving the Host header through the URL host → request host
+	// mapping. A custom transport sends every request to the test
+	// listener but keeps the virtual host name.
+	listener, err := url.Parse(ts.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := &http.Client{Transport: &hostRewriteTransport{target: listener.Host}}
+	fetcher := &web.HTTPFetcher{Client: client}
+
+	sys, err := webbase.New(webbase.Config{Fetcher: fetcher})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, stats, err := sys.QueryString(
+		"SELECT Make, Model, Year, Price WHERE Make = 'honda' AND Model = 'accord' ORDER BY Price LIMIT 5")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nFive cheapest honda accords, fetched over real HTTP:")
+	fmt.Print(res.Relation)
+	fmt.Printf("\n%s\n", stats)
+}
+
+// hostRewriteTransport redirects every request to the test listener while
+// keeping the original virtual host in the Host header.
+type hostRewriteTransport struct {
+	target string
+}
+
+func (t *hostRewriteTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	req = req.Clone(req.Context())
+	req.Host = req.URL.Host // preserve the virtual host
+	req.URL.Host = t.target // but connect to the real listener
+	return http.DefaultTransport.RoundTrip(req)
+}

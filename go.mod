@@ -1,0 +1,3 @@
+module webbase
+
+go 1.22

@@ -1,0 +1,275 @@
+package algebra
+
+import (
+	"errors"
+	"fmt"
+
+	"webbase/internal/relation"
+)
+
+// Eval evaluates the expression against the catalog. bound carries the
+// attribute values already known to the evaluator — the constants of
+// enclosing equality selections and, inside dependent joins, values taken
+// from join partners. Base relations are populated through the catalog
+// with exactly those bindings, which is what lets VPS relations (only
+// accessible with mandatory attributes bound) be evaluated at all.
+func Eval(e Expr, cat Catalog, bound map[string]relation.Value) (*relation.Relation, error) {
+	if bound == nil {
+		bound = map[string]relation.Value{}
+	}
+	switch e := e.(type) {
+	case *Scan:
+		sch, err := cat.Schema(e.Relation)
+		if err != nil {
+			return nil, err
+		}
+		inputs := make(map[string]relation.Value)
+		for a, v := range bound {
+			if sch.Has(a) && !v.IsNull() {
+				inputs[a] = v
+			}
+		}
+		return cat.Populate(e.Relation, inputs)
+
+	case *Select:
+		sub := bound
+		if e.Cond.Op == EQ && e.Cond.Attr2 == "" {
+			// Push the constant down: it may satisfy a mandatory attribute
+			// of a VPS relation underneath.
+			sub = cloneBound(bound)
+			sub[e.Cond.Attr] = e.Cond.Val
+		}
+		in, err := Eval(e.Input, cat, sub)
+		if err != nil {
+			return nil, err
+		}
+		sch := in.Schema()
+		i := sch.IndexOf(e.Cond.Attr)
+		if i < 0 {
+			return nil, fmt.Errorf("algebra: σ attribute %q not in schema %v", e.Cond.Attr, sch)
+		}
+		j := -1
+		if e.Cond.Attr2 != "" {
+			if j = sch.IndexOf(e.Cond.Attr2); j < 0 {
+				return nil, fmt.Errorf("algebra: σ attribute %q not in schema %v", e.Cond.Attr2, sch)
+			}
+		}
+		return in.Select(func(t relation.Tuple) bool {
+			rhs := e.Cond.Val
+			if j >= 0 {
+				rhs = t[j]
+			}
+			return e.Cond.Op.holds(t[i], rhs)
+		}), nil
+
+	case *Project:
+		in, err := Eval(e.Input, cat, bound)
+		if err != nil {
+			return nil, err
+		}
+		return in.Project(e.Attrs...)
+
+	case *Rename:
+		// Bound values arrive under the new names; the subtree knows the
+		// old ones.
+		reverse := make(map[string]string, len(e.Mapping))
+		for o, n := range e.Mapping {
+			reverse[n] = o
+		}
+		sub := make(map[string]relation.Value, len(bound))
+		for a, v := range bound {
+			if o, ok := reverse[a]; ok {
+				sub[o] = v
+			} else {
+				sub[a] = v
+			}
+		}
+		in, err := Eval(e.Input, cat, sub)
+		if err != nil {
+			return nil, err
+		}
+		return in.Rename(in.Name(), e.Mapping), nil
+
+	case *Union:
+		l, err := Eval(e.Left, cat, bound)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Eval(e.Right, cat, bound)
+		if err != nil {
+			return nil, err
+		}
+		return l.Union(r)
+
+	case *RelaxedUnion:
+		sch, err := e.Schema(cat)
+		if err != nil {
+			return nil, err
+		}
+		l, lerr := Eval(e.Left, cat, bound)
+		r, rerr := Eval(e.Right, cat, bound)
+		switch {
+		case lerr == nil && rerr == nil:
+			return l.Union(r)
+		case lerr == nil && bindingFailure(rerr):
+			return l, nil
+		case rerr == nil && bindingFailure(lerr):
+			return r, nil
+		case bindingFailure(lerr) && bindingFailure(rerr):
+			// Neither side reachable with these bindings: empty partial
+			// answer rather than an error — the relaxed semantics.
+			return relation.New("", sch), nil
+		case lerr != nil:
+			return nil, lerr
+		default:
+			return nil, rerr
+		}
+
+	case *Diff:
+		l, err := Eval(e.Left, cat, bound)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Eval(e.Right, cat, bound)
+		if err != nil {
+			return nil, err
+		}
+		return l.Diff(r)
+
+	case *Join:
+		return evalJoin(e, cat, bound)
+
+	default:
+		return nil, fmt.Errorf("algebra: eval of unknown expression %T", e)
+	}
+}
+
+// evalJoin flattens the join tree, orders the operands under the binding
+// constraints (greedy first, exhaustive as fallback), and evaluates them
+// as a chain of dependent joins: each operand is populated once per
+// distinct combination of join-attribute values in the accumulated result,
+// those values serving as its inputs.
+func evalJoin(j *Join, cat Catalog, bound map[string]relation.Value) (*relation.Relation, error) {
+	exprs := flattenJoin(j)
+	ops := make([]Operand, len(exprs))
+	for i, e := range exprs {
+		sch, err := e.Schema(cat)
+		if err != nil {
+			return nil, err
+		}
+		bs, err := Bindings(e, cat)
+		if err != nil {
+			return nil, err
+		}
+		ops[i] = Operand{Name: e.String(), Schema: sch, Bindings: bs}
+	}
+	boundSet := relation.NewAttrSet()
+	for a, v := range bound {
+		if !v.IsNull() {
+			boundSet.Add(a)
+		}
+	}
+	// Small joins afford the exhaustive min-cost planner (operands fed by
+	// query constants run before operands needing dependent feeding);
+	// larger joins fall back to the complete greedy closure.
+	var (
+		order []int
+		err   error
+	)
+	if len(ops) <= 8 {
+		order, err = MinCostOrder(ops, boundSet, nil)
+	} else {
+		order, err = GreedyOrder(ops, boundSet)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	acc, err := Eval(exprs[order[0]], cat, bound)
+	if err != nil {
+		return nil, err
+	}
+	for _, idx := range order[1:] {
+		acc, err = dependentJoin(acc, exprs[idx], ops[idx].Schema, cat, bound)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// dependentJoin evaluates next once per distinct combination of shared
+// attributes in acc (sideways information passing) and joins the union of
+// the per-combination results with acc.
+func dependentJoin(acc *relation.Relation, next Expr, nextSchema relation.Schema,
+	cat Catalog, bound map[string]relation.Value) (*relation.Relation, error) {
+
+	shared := nextSchema.Intersect(acc.Schema())
+	if len(shared) == 0 {
+		r, err := Eval(next, cat, bound)
+		if err != nil {
+			return nil, err
+		}
+		return acc.NaturalJoin(r), nil
+	}
+	combos, err := acc.Project(shared...)
+	if err != nil {
+		return nil, err
+	}
+	var merged *relation.Relation
+	for _, combo := range combos.Tuples() {
+		inputs := cloneBound(bound)
+		skip := false
+		for i, a := range shared {
+			if combo[i].IsNull() {
+				skip = true // cannot feed a null binding to a form
+				break
+			}
+			inputs[a] = combo[i]
+		}
+		if skip {
+			continue
+		}
+		part, err := Eval(next, cat, inputs)
+		if err != nil {
+			return nil, err
+		}
+		if merged == nil {
+			merged = part
+			continue
+		}
+		if merged, err = merged.Union(part); err != nil {
+			return nil, err
+		}
+	}
+	if merged == nil {
+		// No usable combinations: the join is empty.
+		return relation.New("", acc.Schema().Union(nextSchema)), nil
+	}
+	return acc.NaturalJoin(merged), nil
+}
+
+// bindingFailure reports whether err means "this subexpression cannot be
+// accessed with the current bindings" (as opposed to a hard failure).
+// Catalog adapters over the VPS translate their no-usable-handle errors
+// into ErrBindingUnsatisfied so relaxed unions can skip the side.
+func bindingFailure(err error) bool {
+	return errors.Is(err, ErrBindingUnsatisfied) || errors.Is(err, ErrNoOrdering)
+}
+
+// flattenJoin returns the operand expressions of a maximal join subtree in
+// left-to-right order.
+func flattenJoin(e Expr) []Expr {
+	if j, ok := e.(*Join); ok {
+		return append(flattenJoin(j.Left), flattenJoin(j.Right)...)
+	}
+	return []Expr{e}
+}
+
+func cloneBound(bound map[string]relation.Value) map[string]relation.Value {
+	out := make(map[string]relation.Value, len(bound))
+	for a, v := range bound {
+		out[a] = v
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package algebra
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"webbase/internal/relation"
+)
+
+// Operand is one join operand to be ordered: its schema and alternative
+// binding sets.
+type Operand struct {
+	Name     string
+	Schema   relation.Schema
+	Bindings []relation.AttrSet
+}
+
+// executable reports whether the operand can run once the attributes in
+// available are known.
+func (o Operand) executable(available relation.AttrSet) bool {
+	if len(o.Bindings) == 0 {
+		return true // no binding constraint (e.g. a fully materialized input)
+	}
+	return Satisfiable(o.Bindings, available)
+}
+
+// ErrNoOrdering is returned when no execution ordering satisfies the
+// binding constraints — the query cannot be answered because some
+// mandatory form attribute can never be supplied. Section 5: "the
+// existence of such an ordering is necessary and sufficient for a join to
+// be computable under the given set of mandatory attributes."
+var ErrNoOrdering = errors.New("algebra: no join ordering satisfies the binding constraints")
+
+// GreedyOrder computes a join ordering under binding constraints: each
+// round it appends every operand whose binding sets are satisfied by the
+// initially bound attributes plus the schemas of operands already placed.
+//
+// Because availability only grows as operands are placed, placing an
+// executable operand can never make another operand unorderable, so this
+// greedy closure is *complete* for existence: if any valid ordering
+// exists, GreedyOrder finds one (exchange argument: were greedy stuck
+// while a valid ordering π existed, the first π-operand greedy has not
+// placed would be executable, since everything before it in π is placed).
+// The NP-completeness the paper cites [Rajaraman-Sagiv-Ullman] arises for
+// *optimal* plan selection with multiple binding patterns, which
+// MinCostOrder addresses.
+func GreedyOrder(ops []Operand, bound relation.AttrSet) ([]int, error) {
+	available := bound.Clone()
+	placed := make([]bool, len(ops))
+	order := make([]int, 0, len(ops))
+	for len(order) < len(ops) {
+		progress := false
+		for i, op := range ops {
+			if placed[i] || !op.executable(available) {
+				continue
+			}
+			placed[i] = true
+			order = append(order, i)
+			available = available.Union(relation.SetFromSchema(op.Schema))
+			progress = true
+		}
+		if !progress {
+			return nil, orderError(ops, placed, available)
+		}
+	}
+	return order, nil
+}
+
+// CostFunc estimates the cost of invoking an operand when the attributes
+// in constants are bound by query constants and those in available are
+// known (constants plus earlier operands' schemas).
+type CostFunc func(op Operand, constants, available relation.AttrSet) float64
+
+// DefaultCost charges 1 for an operand whose binding is covered by query
+// constants alone (one site invocation) and fanoutPenalty for an operand
+// that must be fed per-combination from join partners (one invocation per
+// distinct combination — the dominant cost of dependent joins over the
+// Web).
+func DefaultCost(op Operand, constants, available relation.AttrSet) float64 {
+	const fanoutPenalty = 25
+	if len(op.Bindings) == 0 || Satisfiable(op.Bindings, constants) {
+		return 1
+	}
+	return fanoutPenalty
+}
+
+// MinCostOrder searches every valid ordering (dynamic programming over
+// operand subsets, O(2ⁿ·n²)) and returns one minimizing the summed cost.
+// It is the exhaustive planner the ablation benchmarks contrast with
+// GreedyOrder: same answers, exponentially more planning work, better
+// orders when cost varies. A nil cost uses DefaultCost.
+func MinCostOrder(ops []Operand, bound relation.AttrSet, cost CostFunc) ([]int, error) {
+	if cost == nil {
+		cost = DefaultCost
+	}
+	n := len(ops)
+	if n == 0 {
+		return nil, nil
+	}
+	if n > 20 {
+		return nil, fmt.Errorf("algebra: too many join operands for exhaustive ordering (%d)", n)
+	}
+	// availFor caches the available set for each placed-subset mask.
+	avail := make([]relation.AttrSet, 1<<uint(n))
+	avail[0] = bound.Clone()
+	type cell struct {
+		cost float64
+		prev int // previous mask
+		last int // operand appended to reach this mask
+	}
+	best := make([]cell, 1<<uint(n))
+	for i := range best {
+		best[i] = cell{cost: math.Inf(1), prev: -1, last: -1}
+	}
+	best[0].cost = 0
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		if math.IsInf(best[mask].cost, 1) {
+			continue
+		}
+		if avail[mask] == nil {
+			// Reconstruct lazily from the predecessor.
+			avail[mask] = avail[best[mask].prev].Union(relation.SetFromSchema(ops[best[mask].last].Schema))
+		}
+		// Position weight: an expensive operand placed early feeds its
+		// (large) intermediate result into every later dependent join, so
+		// its cost is multiplied by the number of operands still to come.
+		weight := float64(n - popcount(mask))
+		for i := 0; i < n; i++ {
+			bit := 1 << uint(i)
+			if mask&bit != 0 || !ops[i].executable(avail[mask]) {
+				continue
+			}
+			next := mask | bit
+			c := best[mask].cost + weight*cost(ops[i], bound, avail[mask])
+			if c < best[next].cost {
+				best[next] = cell{cost: c, prev: mask, last: i}
+			}
+		}
+	}
+	full := 1<<uint(n) - 1
+	if math.IsInf(best[full].cost, 1) {
+		placed := make([]bool, n)
+		return nil, orderError(ops, placed, bound)
+	}
+	order := make([]int, 0, n)
+	for mask := full; mask != 0; mask = best[mask].prev {
+		order = append(order, best[mask].last)
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order, nil
+}
+
+func popcount(mask int) int {
+	n := 0
+	for ; mask != 0; mask &= mask - 1 {
+		n++
+	}
+	return n
+}
+
+func orderError(ops []Operand, placed []bool, available relation.AttrSet) error {
+	var stuck []string
+	for i, op := range ops {
+		if !placed[i] {
+			stuck = append(stuck, fmt.Sprintf("%s needs %s", op.Name, bindingAlternatives(op.Bindings)))
+		}
+	}
+	return fmt.Errorf("%w: available %s; %s", ErrNoOrdering, available, strings.Join(stuck, "; "))
+}
+
+func bindingAlternatives(bs []relation.AttrSet) string {
+	if len(bs) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(bs))
+	for i, b := range bs {
+		parts[i] = b.String()
+	}
+	return strings.Join(parts, " or ")
+}

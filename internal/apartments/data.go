@@ -1,0 +1,151 @@
+// Package apartments is a second application domain for the webbase,
+// demonstrating that the layered architecture is domain-generic — the
+// paper: "we believe that webbases will be designed for application
+// domains (such as cars, jobs, houses) by the experts in those domains."
+//
+// The domain covers New York apartment hunting across four simulated
+// sites: two listing sources (an owner-classifieds site and a broker site
+// that charges fees), a rent-index reference and a neighborhood-safety
+// reference. Everything is assembled through the same packages the
+// used-car domain uses: sites → navigation maps → VPS handles → logical
+// views → a structured universal relation.
+package apartments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Listing is one apartment ad.
+type Listing struct {
+	ID           int
+	Borough      string
+	Neighborhood string
+	Bedrooms     int
+	Rent         int
+	Fee          int // broker fee in dollars; 0 for owner listings
+	Contact      string
+}
+
+// Boroughs lists the five boroughs.
+var Boroughs = []string{"bronx", "brooklyn", "manhattan", "queens", "statenisland"}
+
+// Neighborhoods per borough.
+var Neighborhoods = map[string][]string{
+	"manhattan":    {"chelsea", "harlem", "soho", "tribeca"},
+	"brooklyn":     {"bushwick", "dumbo", "parkslope", "williamsburg"},
+	"queens":       {"astoria", "flushing", "jacksonheights"},
+	"bronx":        {"fordham", "riverdale"},
+	"statenisland": {"stgeorge", "tottenville"},
+}
+
+// baseRent is the studio median per borough.
+var baseRent = map[string]int{
+	"manhattan": 1400, "brooklyn": 950, "queens": 800,
+	"bronx": 650, "statenisland": 600,
+}
+
+// neighborhoodPremium scales rent by desirability, deterministic per
+// neighborhood.
+func neighborhoodPremium(n string) float64 {
+	var h uint32
+	for _, c := range n {
+		h = h*31 + uint32(c)
+	}
+	return 0.85 + float64(h%40)/100 // 0.85 .. 1.24
+}
+
+// MedianRent is the RentIndex site's figure for a borough/bedroom
+// combination (1999 dollars).
+func MedianRent(borough string, bedrooms int) int {
+	base, ok := baseRent[borough]
+	if !ok || bedrooms < 0 {
+		return 0
+	}
+	return int(float64(base) * (1 + 0.45*float64(bedrooms)))
+}
+
+// CrimeRate is SafeStreets' 1 (safest) to 10 (worst) figure per
+// neighborhood: deterministic, anti-correlated with the neighborhood's
+// rent premium (desirable places are safer) plus a little per-name
+// jitter.
+func CrimeRate(neighborhood string) int {
+	var h uint32
+	for _, c := range neighborhood {
+		h = h*17 + uint32(c)
+	}
+	c := int((1.25-neighborhoodPremium(neighborhood))*20) + int(h%3)
+	if c < 1 {
+		c = 1
+	}
+	if c > 10 {
+		c = 10
+	}
+	return c
+}
+
+// Dataset is a deterministic collection of listings.
+type Dataset struct {
+	Listings []Listing
+}
+
+// NewDataset generates n listings from the seed. Rents scatter ±30%
+// around the neighborhood-adjusted borough median so that "below median"
+// queries are selective but non-empty. withFees marks the dataset as a
+// broker's (every listing carries a fee).
+func NewDataset(seed int64, n int, withFees bool) *Dataset {
+	r := rand.New(rand.NewSource(seed))
+	ds := &Dataset{Listings: make([]Listing, 0, n)}
+	for i := 0; i < n; i++ {
+		borough := Boroughs[r.Intn(len(Boroughs))]
+		hoods := Neighborhoods[borough]
+		hood := hoods[r.Intn(len(hoods))]
+		beds := r.Intn(4)
+		median := float64(MedianRent(borough, beds)) * neighborhoodPremium(hood)
+		rent := int(median * (0.7 + r.Float64()*0.6))
+		fee := 0
+		if withFees {
+			fee = rent * (8 + r.Intn(8)) / 100 // 8–15% of a month
+		}
+		ds.Listings = append(ds.Listings, Listing{
+			ID:           i + 1,
+			Borough:      borough,
+			Neighborhood: hood,
+			Bedrooms:     beds,
+			Rent:         rent,
+			Fee:          fee,
+			Contact:      fmt.Sprintf("(212) 555-%04d", 1000+r.Intn(9000)),
+		})
+	}
+	return ds
+}
+
+// ByBorough returns the listings in a borough, optionally restricted to a
+// bedroom count (bedrooms < 0 means any).
+func (d *Dataset) ByBorough(borough string, bedrooms int) []Listing {
+	var out []Listing
+	for _, l := range d.Listings {
+		if l.Borough == borough && (bedrooms < 0 || l.Bedrooms == bedrooms) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// HoodsOf returns the distinct neighborhoods present for a borough in the
+// dataset, sorted.
+func (d *Dataset) HoodsOf(borough string) []string {
+	seen := map[string]bool{}
+	for _, l := range d.Listings {
+		if l.Borough == borough {
+			seen[l.Neighborhood] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for h := range seen {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,256 @@
+package apartments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"webbase/internal/htmlkit"
+	"webbase/internal/web"
+)
+
+// Hosts of the apartment-domain sites.
+const (
+	CityRentalsHost = "cityrentals.example"
+	AptFinderHost   = "aptfinder.example"
+	RentIndexHost   = "rentindex.example"
+	SafeStreetsHost = "safestreets.example"
+)
+
+// pageSize is the listings-per-page of the paginated sites.
+const pageSize = 6
+
+// CityRentals builds the owner-classifieds site: home → link("Apartment
+// Classifieds") → form(borough mandatory select, bedrooms optional) →
+// paginated listings.
+func CityRentals(ds *Dataset) web.Site {
+	m := web.NewMux(CityRentalsHost)
+	base := "http://" + CityRentalsHost
+
+	m.Handle("/", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		return web.HTML(req.URL, page("CityRentals",
+			link("Apartment Classifieds", base+"/classifieds"))), nil
+	}))
+	m.Handle("/classifieds", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		return web.HTML(req.URL, page("Apartment Classifieds",
+			form("search", base+"/cgi/search", "get",
+				selectField("borough", Boroughs...),
+				textField("bedrooms")))), nil
+	}))
+	m.Handle("/cgi/search", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		borough := req.Param("borough")
+		if borough == "" {
+			return web.HTML(req.URL, page("Error", "<p>borough is required</p>")), nil
+		}
+		beds := -1
+		if b := req.Param("bedrooms"); b != "" {
+			if n, err := strconv.Atoi(b); err == nil {
+				beds = n
+			}
+		}
+		listings := ds.ByBorough(borough, beds)
+		pg := atoi(req.Param("page"))
+		start, end := bounds(len(listings), pg)
+		var rows strings.Builder
+		for _, l := range listings[start:end] {
+			fmt.Fprintf(&rows, "<tr><td>%s</td><td>%s</td><td>%d</td><td>$%d</td><td>%s</td></tr>\n",
+				l.Borough, l.Neighborhood, l.Bedrooms, l.Rent, l.Contact)
+		}
+		body := fmt.Sprintf(`<h1>Listings %d–%d of %d</h1>
+<table><tr><th>Borough</th><th>Neighborhood</th><th>Bedrooms</th><th>Rent</th><th>Contact</th></tr>
+%s</table>`, start+1, end, len(listings), rows.String())
+		if end < len(listings) {
+			body += fmt.Sprintf(`<a href="%s/cgi/search?borough=%s&bedrooms=%s&page=%d">More</a>`,
+				base, borough, req.Param("bedrooms"), pg+1)
+		}
+		return web.HTML(req.URL, page("Listings", body)), nil
+	}))
+	return m
+}
+
+// AptFinder builds the broker site: a bedrooms radio group (mandatory, as
+// the map builder infers from the widget) plus a borough select, listings
+// carrying the broker Fee column.
+func AptFinder(ds *Dataset) web.Site {
+	m := web.NewMux(AptFinderHost)
+	base := "http://" + AptFinderHost
+
+	m.Handle("/", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		return web.HTML(req.URL, page("AptFinder",
+			form("finder", base+"/cgi/find", "post",
+				selectField("borough", Boroughs...),
+				radioField("bedrooms", "0", "1", "2", "3")))), nil
+	}))
+	m.Handle("/cgi/find", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		borough, bedsStr := req.Param("borough"), req.Param("bedrooms")
+		if borough == "" || bedsStr == "" {
+			return web.HTML(req.URL, page("Error", "<p>borough and bedrooms are required</p>")), nil
+		}
+		beds, _ := strconv.Atoi(bedsStr)
+		listings := ds.ByBorough(borough, beds)
+		pg := atoi(req.Param("page"))
+		start, end := bounds(len(listings), pg)
+		var rows strings.Builder
+		for _, l := range listings[start:end] {
+			fmt.Fprintf(&rows, "<tr><td>%s</td><td>%s</td><td>%d</td><td>$%d</td><td>$%d</td><td>%s</td></tr>\n",
+				l.Borough, l.Neighborhood, l.Bedrooms, l.Rent, l.Fee, l.Contact)
+		}
+		body := fmt.Sprintf(`<h1>Brokered listings %d–%d of %d</h1>
+<table><tr><th>Borough</th><th>Neighborhood</th><th>Bedrooms</th><th>Rent</th><th>Fee</th><th>Contact</th></tr>
+%s</table>`, start+1, end, len(listings), rows.String())
+		if end < len(listings) {
+			body += fmt.Sprintf(`<a href="%s/cgi/find?borough=%s&bedrooms=%d&page=%d">More</a>`,
+				base, borough, beds, pg+1)
+		}
+		return web.HTML(req.URL, page("Brokered Listings", body)), nil
+	}))
+	return m
+}
+
+// RentIndex builds the rent-statistics reference: form(borough; bedrooms
+// optional) → median-rent table.
+func RentIndex() web.Site {
+	m := web.NewMux(RentIndexHost)
+	base := "http://" + RentIndexHost
+
+	m.Handle("/", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		return web.HTML(req.URL, page("RentIndex",
+			link("Median Rents", base+"/medians"))), nil
+	}))
+	m.Handle("/medians", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		return web.HTML(req.URL, page("Median Rents",
+			form("medians", base+"/cgi/medians", "get",
+				selectField("borough", Boroughs...),
+				textField("bedrooms")))), nil
+	}))
+	m.Handle("/cgi/medians", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		borough := req.Param("borough")
+		if borough == "" {
+			return web.HTML(req.URL, page("Error", "<p>borough is required</p>")), nil
+		}
+		var rows strings.Builder
+		emit := func(beds int) {
+			fmt.Fprintf(&rows, "<tr><td>%s</td><td>%d</td><td>$%d</td></tr>\n",
+				borough, beds, MedianRent(borough, beds))
+		}
+		if b := req.Param("bedrooms"); b != "" {
+			if n, err := strconv.Atoi(b); err == nil {
+				emit(n)
+			}
+		} else {
+			for beds := 0; beds <= 3; beds++ {
+				emit(beds)
+			}
+		}
+		body := fmt.Sprintf(`<table><tr><th>Borough</th><th>Bedrooms</th><th>MedianRent</th></tr>%s</table>`, rows.String())
+		return web.HTML(req.URL, page("Medians", body)), nil
+	}))
+	return m
+}
+
+// SafeStreets builds the neighborhood-safety reference: borough links
+// (link-defined attribute) → crime-rate table per neighborhood.
+func SafeStreets() web.Site {
+	m := web.NewMux(SafeStreetsHost)
+	base := "http://" + SafeStreetsHost
+
+	m.Handle("/", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		var links strings.Builder
+		for _, b := range Boroughs {
+			fmt.Fprintf(&links, `<a href="%s/borough?b=%s">%s</a><br>`, base, b, b)
+		}
+		return web.HTML(req.URL, page("SafeStreets", links.String())), nil
+	}))
+	m.Handle("/borough", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		b := req.Param("b")
+		hoods, ok := Neighborhoods[b]
+		if !ok {
+			return web.NotFound(req.URL), nil
+		}
+		var rows strings.Builder
+		for _, h := range hoods {
+			fmt.Fprintf(&rows, "<tr><td>%s</td><td>%s</td><td>%d</td></tr>\n", b, h, CrimeRate(h))
+		}
+		body := fmt.Sprintf(`<table><tr><th>Borough</th><th>Neighborhood</th><th>CrimeRate</th></tr>%s</table>`, rows.String())
+		return web.HTML(req.URL, page("Safety: "+b, body)), nil
+	}))
+	return m
+}
+
+// World bundles the apartment Web with its ground-truth datasets.
+type World struct {
+	Server      *web.Server
+	CityRentals *Dataset
+	AptFinder   *Dataset
+}
+
+// BuildWorld assembles the apartment-domain Web deterministically.
+func BuildWorld() *World {
+	w := &World{
+		Server:      web.NewServer(),
+		CityRentals: NewDataset(101, 500, false),
+		AptFinder:   NewDataset(102, 400, true),
+	}
+	w.Server.Register(CityRentals(w.CityRentals))
+	w.Server.Register(AptFinder(w.AptFinder))
+	w.Server.Register(RentIndex())
+	w.Server.Register(SafeStreets())
+	return w
+}
+
+// Small HTML helpers (era-style markup, kept local to the domain).
+
+func page(title, body string) string {
+	return "<html><head><title>" + htmlkit.EscapeText(title) + "</title></head><body>\n" +
+		body + "\n<hr><a href=\"/about\">About</a> <a href=\"/help\">Help</a>\n</body></html>\n"
+}
+
+func link(name, href string) string {
+	return fmt.Sprintf(`<a href="%s">%s</a>`, htmlkit.EscapeAttr(href), htmlkit.EscapeText(name))
+}
+
+func form(name, action, method string, fields ...string) string {
+	return fmt.Sprintf(`<form name="%s" action="%s" method="%s">%s<input type="submit" value="Search"></form>`,
+		name, action, method, strings.Join(fields, ""))
+}
+
+func selectField(name string, options ...string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `%s: <select name="%s">`, name, name)
+	for _, o := range options {
+		fmt.Fprintf(&sb, `<option value="%s">%s</option>`, o, o)
+	}
+	sb.WriteString("</select><br>")
+	return sb.String()
+}
+
+func textField(name string) string {
+	return fmt.Sprintf(`%s: <input type="text" name="%s"><br>`, name, name)
+}
+
+func radioField(name string, options ...string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: ", name)
+	for _, o := range options {
+		fmt.Fprintf(&sb, `<input type="radio" name="%s" value="%s">%s `, name, o, o)
+	}
+	sb.WriteString("<br>")
+	return sb.String()
+}
+
+func atoi(s string) int {
+	n, _ := strconv.Atoi(s)
+	return n
+}
+
+func bounds(total, page int) (int, int) {
+	start := page * pageSize
+	if start > total {
+		start = total
+	}
+	end := start + pageSize
+	if end > total {
+		end = total
+	}
+	return start, end
+}

@@ -1,0 +1,226 @@
+package carmaps
+
+import (
+	"webbase/internal/mapbuilder"
+	"webbase/internal/navcalc"
+	"webbase/internal/relation"
+	"webbase/internal/sites"
+)
+
+// Sessions returns the recorded mapping-by-example browsing sessions that
+// rebuild the standard navigation maps of AllMaps: the designer's clicks,
+// form fill-outs, data-page declarations and manual hints for each site
+// (Section 7). featuresURL is a concrete car-features URL used to record
+// the newsdayCarFeatures session (obtain one by running the newsday
+// expression first).
+func Sessions(featuresURL string) []*mapbuilder.Session {
+	dealer := func(header string) navcalc.Column { return navcalc.Column{Header: header, Attr: header} }
+	money := func(header string) navcalc.Column {
+		return navcalc.Column{Header: header, Attr: header, Money: true}
+	}
+
+	newsdaySpec := navcalc.ExtractSpec{
+		Columns: []navcalc.Column{
+			dealer("Make"), dealer("Model"), dealer("Year"), money("Price"), dealer("Contact"),
+		},
+		LinkCols: []navcalc.LinkCol{{LinkName: "Car Features", Attr: "Url"}},
+	}
+	dealerSpec := navcalc.ExtractSpec{Columns: []navcalc.Column{
+		dealer("Make"), dealer("Model"), dealer("Year"), money("Price"),
+		dealer("Features"), dealer("ZipCode"), dealer("Contact"),
+	}}
+
+	return []*mapbuilder.Session{
+		{
+			Relation: "newsday",
+			StartURL: "http://" + sites.NewsdayHost + "/",
+			Schema:   relation.NewSchema("Make", "Model", "Year", "Price", "Contact", "Url"),
+			Events: []mapbuilder.Event{
+				{Kind: mapbuilder.EvFollow, LinkName: "Automobiles"},
+				{Kind: mapbuilder.EvSubmit, FormName: "f1",
+					Values: map[string]string{"make": "ford"},
+					VarOf:  map[string]string{"make": "Make"}},
+				{Kind: mapbuilder.EvSubmit, FormName: "f2",
+					Values: map[string]string{"model": "escort"},
+					VarOf:  map[string]string{"model": "Model"}},
+				{Kind: mapbuilder.EvMarkData, NodeName: "carData", Extract: newsdaySpec, MoreLink: "More"},
+				// Second browse: a rare make goes straight to the data page,
+				// recording Figure 2's direct f1 → carData edge.
+				{Kind: mapbuilder.EvRestart},
+				{Kind: mapbuilder.EvFollow, LinkName: "Automobiles"},
+				{Kind: mapbuilder.EvSubmit, FormName: "f1",
+					Values: map[string]string{"make": "saab"},
+					VarOf:  map[string]string{"make": "Make"}},
+				{Kind: mapbuilder.EvMarkData, NodeName: "carData", Extract: newsdaySpec, MoreLink: "More"},
+				// The paper: "10 to 12 facts to standardize attribute and
+				// domain value names" — a representative pair.
+				{Kind: mapbuilder.EvHint, Hint: "rename field featrs → Features"},
+				{Kind: mapbuilder.EvHint, Hint: "contact numbers are NYC area"},
+			},
+		},
+		{
+			Relation: "newsdayCarFeatures",
+			StartURL: featuresURL,
+			StartVar: "Url",
+			Schema:   relation.NewSchema("Url", "Features", "Picture"),
+			Events: []mapbuilder.Event{
+				{Kind: mapbuilder.EvMarkData, NodeName: "featuresPg", Extract: navcalc.ExtractSpec{
+					Columns: []navcalc.Column{dealer("Features"), dealer("Picture")},
+					EnvCols: []navcalc.EnvCol{{Var: "Url", Attr: "Url"}},
+				}},
+			},
+		},
+		{
+			Relation: "nyTimes",
+			StartURL: "http://" + sites.NYTimesHost + "/",
+			Schema:   relation.NewSchema("Make", "Model", "Year", "Features", "Price", "Contact"),
+			Events: []mapbuilder.Event{
+				{Kind: mapbuilder.EvFollow, LinkName: "Classifieds"},
+				{Kind: mapbuilder.EvSubmit, FormName: "search",
+					Values: map[string]string{"make": "ford", "model": "escort"},
+					VarOf:  map[string]string{"make": "Make", "model": "Model"}},
+				{Kind: mapbuilder.EvMarkData, NodeName: "results", Extract: navcalc.ExtractSpec{
+					Columns: []navcalc.Column{
+						dealer("Make"), dealer("Model"), dealer("Year"),
+						dealer("Features"), money("Price"), dealer("Contact"),
+					}}, MoreLink: "More"},
+				{Kind: mapbuilder.EvHint, Hint: "prices include dealer fees"},
+			},
+		},
+		{
+			Relation: "newYorkDaily",
+			StartURL: "http://" + sites.NewYorkDailyHost + "/",
+			Schema:   relation.NewSchema("Make", "Model", "Year", "Price", "Contact"),
+			Events: []mapbuilder.Event{
+				{Kind: mapbuilder.EvFollow, LinkName: "Auto Classifieds"},
+				{Kind: mapbuilder.EvFollow, LinkName: "Search Used Cars"},
+				{Kind: mapbuilder.EvSubmit, FormName: "carsearch",
+					Values: map[string]string{"make": "ford"},
+					VarOf:  map[string]string{"make": "Make"}},
+				{Kind: mapbuilder.EvMarkData, NodeName: "listings", Extract: navcalc.ExtractSpec{
+					Columns: []navcalc.Column{
+						dealer("Make"), dealer("Model"), dealer("Year"),
+						money("Price"), dealer("Contact"),
+					}}, MoreLink: "More"},
+			},
+		},
+		{
+			Relation: "carPoint",
+			StartURL: "http://" + sites.CarPointHost + "/",
+			Schema:   dealerSchema.Clone(),
+			Events: []mapbuilder.Event{
+				{Kind: mapbuilder.EvSubmit, FormName: "finder",
+					Values: map[string]string{"make": "ford", "model": "escort"},
+					VarOf:  map[string]string{"make": "Make", "model": "Model"}},
+				{Kind: mapbuilder.EvMarkData, NodeName: "inventory", Extract: dealerSpec, MoreLink: "More"},
+			},
+		},
+		{
+			Relation: "autoWeb",
+			StartURL: "http://" + sites.AutoWebHost + "/",
+			Schema:   dealerSchema.Clone(),
+			Events: []mapbuilder.Event{
+				{Kind: mapbuilder.EvFollow, LinkName: "Used Car Search"},
+				{Kind: mapbuilder.EvSubmit, FormName: "pickmake",
+					Values: map[string]string{"make": "ford"},
+					VarOf:  map[string]string{"make": "Make"}},
+				{Kind: mapbuilder.EvSubmit, FormName: "pickmodel",
+					Values: map[string]string{"model": "escort"},
+					VarOf:  map[string]string{"model": "Model"}},
+				{Kind: mapbuilder.EvMarkData, NodeName: "stock", Extract: dealerSpec, MoreLink: "More"},
+			},
+		},
+		{
+			Relation: "wwWheels",
+			StartURL: "http://" + sites.WWWheelsHost + "/",
+			Schema:   dealerSchema.Clone(),
+			Events: []mapbuilder.Event{
+				{Kind: mapbuilder.EvSubmit, FormName: "q",
+					Values: map[string]string{"make": "ford", "model": "escort"},
+					VarOf:  map[string]string{"make": "Make", "model": "Model"}},
+				{Kind: mapbuilder.EvMarkData, NodeName: "results", Extract: dealerSpec},
+			},
+		},
+		{
+			Relation: "autoConnect",
+			StartURL: "http://" + sites.AutoConnectHost + "/",
+			Schema:   relation.NewSchema("Make", "Model", "Year", "Condition", "Price", "ZipCode", "Contact"),
+			Events: []mapbuilder.Event{
+				{Kind: mapbuilder.EvFollow, LinkName: "Find a Car"},
+				{Kind: mapbuilder.EvSubmit, FormName: "finder",
+					Values: map[string]string{"make": "ford", "condition": "good"},
+					VarOf:  map[string]string{"make": "Make", "condition": "Condition"}},
+				{Kind: mapbuilder.EvMarkData, NodeName: "inventory", Extract: navcalc.ExtractSpec{
+					Columns: []navcalc.Column{
+						dealer("Make"), dealer("Model"), dealer("Year"), dealer("Condition"),
+						money("Price"), dealer("ZipCode"), dealer("Contact"),
+					}}, MoreLink: "More"},
+			},
+		},
+		{
+			Relation: "yahooCars",
+			StartURL: "http://" + sites.YahooCarsHost + "/",
+			Schema:   dealerSchema.Clone(),
+			Events: []mapbuilder.Event{
+				{Kind: mapbuilder.EvFollow, LinkName: "ford", BindVar: "Make"},
+				{Kind: mapbuilder.EvFollow, LinkName: "escort", BindVar: "Model"},
+				{Kind: mapbuilder.EvMarkData, NodeName: "listing", Extract: dealerSpec, MoreLink: "More"},
+			},
+		},
+		{
+			Relation: "kellys",
+			StartURL: "http://" + sites.KellysHost + "/",
+			Schema:   relation.NewSchema("Make", "Model", "Year", "Condition", "BBPrice"),
+			Events: []mapbuilder.Event{
+				{Kind: mapbuilder.EvFollow, LinkName: "Price a Used Car"},
+				{Kind: mapbuilder.EvSubmit, FormName: "pricer",
+					Values: map[string]string{"make": "jaguar", "model": "xj6", "year": "1994", "condition": "good"},
+					VarOf:  map[string]string{"make": "Make", "model": "Model", "year": "Year", "condition": "Condition"}},
+				{Kind: mapbuilder.EvMarkData, NodeName: "blue book value", Extract: navcalc.ExtractSpec{
+					Columns: []navcalc.Column{
+						dealer("Make"), dealer("Model"), dealer("Year"),
+						dealer("Condition"), money("BBPrice"),
+					}}},
+			},
+		},
+		{
+			Relation: "carAndDriver",
+			StartURL: "http://" + sites.CarAndDriverHost + "/",
+			Schema:   relation.NewSchema("Make", "Model", "Safety"),
+			Events: []mapbuilder.Event{
+				{Kind: mapbuilder.EvFollow, LinkName: "Safety Ratings"},
+				{Kind: mapbuilder.EvSubmit, FormName: "safety",
+					Values: map[string]string{"make": "jaguar"},
+					VarOf:  map[string]string{"make": "Make"}},
+				{Kind: mapbuilder.EvMarkData, NodeName: "ratings", Extract: navcalc.ExtractSpec{
+					Columns: []navcalc.Column{dealer("Make"), dealer("Model"), dealer("Safety")},
+				}},
+			},
+		},
+		{
+			Relation: "carReviews",
+			StartURL: "http://" + sites.CarReviewsHost + "/",
+			Schema:   relation.NewSchema("Make", "Model", "Reliability"),
+			Events: []mapbuilder.Event{
+				{Kind: mapbuilder.EvFollow, LinkName: "honda", BindVar: "Make"},
+				{Kind: mapbuilder.EvFollow, LinkName: "civic", BindVar: "Model"},
+				{Kind: mapbuilder.EvMarkData, NodeName: "review", Extract: navcalc.ExtractSpec{
+					Columns: []navcalc.Column{dealer("Make"), dealer("Model"), dealer("Reliability")},
+				}},
+			},
+		},
+		{
+			Relation: "carFinance",
+			StartURL: "http://" + sites.CarFinanceHost + "/",
+			Schema:   relation.NewSchema("ZipCode", "Duration", "Rate"),
+			Events: []mapbuilder.Event{
+				{Kind: mapbuilder.EvSubmit, FormName: "rates",
+					Values: map[string]string{"zipcode": "11201", "duration": "36"},
+					VarOf:  map[string]string{"zipcode": "ZipCode", "duration": "Duration"}},
+				{Kind: mapbuilder.EvMarkData, NodeName: "rates", Extract: navcalc.ExtractSpec{
+					Columns: []navcalc.Column{dealer("ZipCode"), dealer("Duration"), dealer("Rate")},
+				}},
+			},
+		},
+	}
+}

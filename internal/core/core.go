@@ -1,0 +1,245 @@
+// Package core assembles the paper's three-layer webbase (Figure 1): the
+// virtual physical schema (navigation independence), the logical layer
+// (site independence) and the external schema layer (the structured
+// universal relation), all executing against a Web fetcher.
+//
+// This is the system a user of the library instantiates: New builds the
+// standard used-car webbase over any fetcher (the in-process simulated
+// Web, an HTTP adapter, ...); Query answers ad hoc universal-relation
+// queries end to end — UR planning → logical views → binding-aware
+// dependent joins → navigation-calculus execution → pages.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"webbase/internal/logical"
+	"webbase/internal/relation"
+	"webbase/internal/ur"
+	"webbase/internal/vps"
+	"webbase/internal/web"
+)
+
+// Config controls webbase assembly.
+type Config struct {
+	// Fetcher retrieves raw pages. Required.
+	Fetcher web.Fetcher
+	// Latency, when non-zero, wraps the fetcher with the simulated
+	// network latency model (see web.LatencyModel.Sleep for whether it
+	// actually sleeps or only accounts).
+	Latency web.LatencyModel
+	// DisableCache turns off the page cache. The default (caching on)
+	// follows Section 7's observation that caching is needed for
+	// acceptable response times.
+	DisableCache bool
+	// Workers bounds parallel site evaluation; 0 means GOMAXPROCS.
+	Workers int
+	// Retries re-attempts failed page fetches (transport errors only;
+	// webbase navigation is read-only, so retrying is safe). 0 disables.
+	Retries int
+}
+
+// Webbase is an assembled three-layer webbase.
+type Webbase struct {
+	Registry *vps.Registry    // the virtual physical schema
+	Logical  *logical.Catalog // the logical layer
+	UR       *ur.Schema       // the external schema layer
+
+	fetcher web.Fetcher
+	stats   *web.Stats
+	cache   *web.Cache
+	workers int
+}
+
+// Domain describes how to assemble the three layers of one application
+// domain (the paper: "webbases will be designed for application domains —
+// such as cars, jobs, houses — by the experts in those domains"). The
+// used-car domain is built in; other domains (e.g. internal/apartments)
+// provide their own Domain.
+type Domain struct {
+	// Registry builds the domain's virtual physical schema.
+	Registry func() (*vps.Registry, error)
+	// Logical builds the domain's view catalog over the VPS.
+	Logical func(reg *vps.Registry, f web.Fetcher) (*logical.Catalog, error)
+	// UR builds the domain's structured universal relation.
+	UR func() (*ur.Schema, error)
+}
+
+// UsedCarsDomain is the paper's running domain.
+var UsedCarsDomain = Domain{
+	Registry: vps.StandardRegistry,
+	Logical:  logical.StandardCatalog,
+	UR:       ur.UsedCarUR,
+}
+
+// New assembles the standard used-car webbase over the configured fetcher.
+func New(cfg Config) (*Webbase, error) {
+	return NewDomain(cfg, UsedCarsDomain)
+}
+
+// NewDomain assembles a webbase for an arbitrary application domain.
+func NewDomain(cfg Config, d Domain) (*Webbase, error) {
+	if cfg.Fetcher == nil {
+		return nil, fmt.Errorf("core: Config.Fetcher is required")
+	}
+	wb := &Webbase{stats: &web.Stats{}, workers: cfg.Workers}
+	if wb.workers <= 0 {
+		wb.workers = runtime.GOMAXPROCS(0)
+	}
+
+	raw := cfg.Fetcher
+	if cfg.Retries > 0 {
+		raw = web.WithRetry(raw, cfg.Retries)
+	}
+	f := web.Counting(raw, wb.stats)
+	if cfg.Latency != (web.LatencyModel{}) {
+		f = web.WithLatency(f, cfg.Latency, wb.stats)
+	}
+	if !cfg.DisableCache {
+		wb.cache = web.NewCache()
+		f = web.WithCache(f, wb.cache)
+	}
+	wb.fetcher = f
+
+	reg, err := d.Registry()
+	if err != nil {
+		return nil, err
+	}
+	wb.Registry = reg
+
+	cat, err := d.Logical(reg, f)
+	if err != nil {
+		return nil, err
+	}
+	wb.Logical = cat
+
+	schema, err := d.UR()
+	if err != nil {
+		return nil, err
+	}
+	wb.UR = schema
+	return wb, nil
+}
+
+// Stats exposes the cumulative fetch statistics.
+func (wb *Webbase) Stats() *web.Stats { return wb.stats }
+
+// Cache exposes the page cache (nil when disabled).
+func (wb *Webbase) Cache() *web.Cache { return wb.cache }
+
+// Fetcher returns the fully wrapped fetcher the webbase navigates with.
+func (wb *Webbase) Fetcher() web.Fetcher { return wb.fetcher }
+
+// QueryStats reports what one query cost.
+type QueryStats struct {
+	Pages     int64         // pages fetched from sites (cache misses)
+	Bytes     int64         // body bytes fetched
+	Elapsed   time.Duration // wall-clock time of the evaluation
+	Simulated time.Duration // simulated network latency accrued
+	CacheHits int64         // pages served from the cache
+}
+
+// String renders the stats line the experiment harness prints.
+func (qs *QueryStats) String() string {
+	return fmt.Sprintf("pages=%d bytes=%d elapsed=%v simulated-net=%v cache-hits=%d",
+		qs.Pages, qs.Bytes, qs.Elapsed, qs.Simulated, qs.CacheHits)
+}
+
+// Query evaluates a universal relation query end to end.
+func (wb *Webbase) Query(q ur.Query) (*ur.Result, *QueryStats, error) {
+	before := wb.snapshot()
+	start := time.Now()
+	res, err := wb.UR.Eval(q, wb.Logical)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, wb.delta(before, time.Since(start)), nil
+}
+
+// QueryString parses and evaluates the CLI query syntax
+// (SELECT ... WHERE ...).
+func (wb *Webbase) QueryString(text string) (*ur.Result, *QueryStats, error) {
+	q, err := ur.ParseQuery(wb.UR, text)
+	if err != nil {
+		return nil, nil, err
+	}
+	return wb.Query(q)
+}
+
+type statSnapshot struct {
+	pages, bytes, hits int64
+	simulated          time.Duration
+}
+
+func (wb *Webbase) snapshot() statSnapshot {
+	s := statSnapshot{
+		pages:     wb.stats.Pages(),
+		bytes:     wb.stats.Bytes(),
+		simulated: wb.stats.SimulatedLatency(),
+	}
+	if wb.cache != nil {
+		s.hits = wb.cache.Hits()
+	}
+	return s
+}
+
+func (wb *Webbase) delta(before statSnapshot, elapsed time.Duration) *QueryStats {
+	qs := &QueryStats{
+		Pages:     wb.stats.Pages() - before.pages,
+		Bytes:     wb.stats.Bytes() - before.bytes,
+		Simulated: wb.stats.SimulatedLatency() - before.simulated,
+		Elapsed:   elapsed,
+	}
+	if wb.cache != nil {
+		qs.CacheHits = wb.cache.Hits() - before.hits
+	}
+	return qs
+}
+
+// SiteResult is the outcome of populating one VPS relation during a
+// multi-site sweep.
+type SiteResult struct {
+	Relation string
+	Rel      *relation.Relation
+	Err      error
+}
+
+// PopulateAll populates the named VPS relations with the same inputs,
+// running up to Workers sites concurrently — the parallelization Section 7
+// finds "crucial for obtaining acceptable response times". Results arrive
+// keyed and sorted by relation name; per-site errors are reported in the
+// results rather than aborting the sweep.
+func (wb *Webbase) PopulateAll(relations []string, inputs map[string]relation.Value) []SiteResult {
+	results := make([]SiteResult, len(relations))
+	sem := make(chan struct{}, wb.workers)
+	var wg sync.WaitGroup
+	for i, name := range relations {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rel, _, err := wb.Registry.Populate(wb.fetcher, name, inputs)
+			results[i] = SiteResult{Relation: name, Rel: rel, Err: err}
+		}(i, name)
+	}
+	wg.Wait()
+	sort.Slice(results, func(i, j int) bool { return results[i].Relation < results[j].Relation })
+	return results
+}
+
+// PopulateSequential is the sequential baseline of PopulateAll, used by
+// the parallelization experiment.
+func (wb *Webbase) PopulateSequential(relations []string, inputs map[string]relation.Value) []SiteResult {
+	results := make([]SiteResult, len(relations))
+	for i, name := range relations {
+		rel, _, err := wb.Registry.Populate(wb.fetcher, name, inputs)
+		results[i] = SiteResult{Relation: name, Rel: rel, Err: err}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Relation < results[j].Relation })
+	return results
+}

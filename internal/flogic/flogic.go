@@ -1,0 +1,406 @@
+// Package flogic implements the F-logic object model underlying the
+// navigation calculus (Section 4 of the paper, Figure 3).
+//
+// F-logic represents complex objects — Web pages, links, forms,
+// attribute/value pairs — on a par with flat relations. An object has an
+// identity, class memberships (isa), single-valued ("functional", the
+// paper's →) attributes and set-valued (the paper's ⇒) attributes. Class
+// signatures declare the types of attributes and are checked against
+// object states, mirroring the paper's double-shafted signature arrows.
+package flogic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OID is an object identity.
+type OID string
+
+// TermKind discriminates attribute values.
+type TermKind uint8
+
+// Term kinds: scalar string, scalar integer, or a reference to another
+// object.
+const (
+	TermString TermKind = iota
+	TermInt
+	TermRef
+)
+
+// Term is an attribute value: a string, an integer, or an object
+// reference.
+type Term struct {
+	Kind TermKind
+	Str  string
+	Int  int64
+	Ref  OID
+}
+
+// S makes a string term.
+func S(s string) Term { return Term{Kind: TermString, Str: s} }
+
+// I makes an integer term.
+func I(i int64) Term { return Term{Kind: TermInt, Int: i} }
+
+// R makes an object-reference term.
+func R(id OID) Term { return Term{Kind: TermRef, Ref: id} }
+
+// String renders the term.
+func (t Term) String() string {
+	switch t.Kind {
+	case TermString:
+		return fmt.Sprintf("%q", t.Str)
+	case TermInt:
+		return fmt.Sprintf("%d", t.Int)
+	default:
+		return string(t.Ref)
+	}
+}
+
+// Equal reports term equality.
+func (t Term) Equal(o Term) bool { return t == o }
+
+// Object is one F-logic object.
+type Object struct {
+	ID      OID
+	classes map[string]bool
+	funct   map[string]Term   // single-valued attributes (→)
+	setval  map[string][]Term // set-valued attributes (⇒)
+}
+
+// newObject allocates an empty object.
+func newObject(id OID) *Object {
+	return &Object{
+		ID:      id,
+		classes: make(map[string]bool),
+		funct:   make(map[string]Term),
+		setval:  make(map[string][]Term),
+	}
+}
+
+// Classes returns the direct classes of the object, sorted.
+func (o *Object) Classes() []string {
+	out := make([]string, 0, len(o.classes))
+	for c := range o.classes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the functional attribute's value.
+func (o *Object) Get(attr string) (Term, bool) {
+	t, ok := o.funct[attr]
+	return t, ok
+}
+
+// GetAll returns the set-valued attribute's members (nil when absent).
+func (o *Object) GetAll(attr string) []Term { return o.setval[attr] }
+
+// FunctAttrs returns the names of the functional attributes, sorted.
+func (o *Object) FunctAttrs() []string { return sortedKeys(o.funct) }
+
+// SetAttrs returns the names of the set-valued attributes, sorted.
+func (o *Object) SetAttrs() []string { return sortedKeys(o.setval) }
+
+// AttrCount returns the total number of attribute assertions on the
+// object: functional attributes count one each, set-valued attributes one
+// per member. The map-builder statistics of Section 7 are counted in these
+// units.
+func (o *Object) AttrCount() int {
+	n := len(o.funct)
+	for _, ts := range o.setval {
+		n += len(ts)
+	}
+	return n
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AttrSig declares one attribute in a class signature: its name, whether
+// it is set-valued (⇒ vs →), and its type — "string", "int", or a class
+// name for object-valued attributes.
+type AttrSig struct {
+	Name      string
+	SetValued bool
+	Type      string
+}
+
+// Signature is the schema of a class, the paper's Figure 3 declarations.
+type Signature struct {
+	Class string
+	Attrs []AttrSig
+}
+
+// attr returns the declaration of the named attribute.
+func (s *Signature) attr(name string) (AttrSig, bool) {
+	for _, a := range s.Attrs {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return AttrSig{}, false
+}
+
+// String renders the signature in the paper's style.
+func (s *Signature) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s[", s.Class)
+	for i, a := range s.Attrs {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		arrow := "=>"
+		if a.SetValued {
+			arrow = "=>>"
+		}
+		fmt.Fprintf(&sb, "%s %s %s", a.Name, arrow, a.Type)
+	}
+	sb.WriteString("]")
+	return sb.String()
+}
+
+// Store is a collection of F-logic objects with class signatures and a
+// subclass lattice. A Store is the object half of a navigation-calculus
+// database state.
+type Store struct {
+	objects    map[OID]*Object
+	signatures map[string]*Signature
+	supers     map[string][]string // class → direct superclasses
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		objects:    make(map[OID]*Object),
+		signatures: make(map[string]*Signature),
+		supers:     make(map[string][]string),
+	}
+}
+
+// DeclareClass registers a class signature.
+func (st *Store) DeclareClass(sig *Signature) { st.signatures[sig.Class] = sig }
+
+// DeclareSubclass records sub ⊑ super (the paper's page :: web_page style
+// declarations, e.g. data_page is a subclass of web_page).
+func (st *Store) DeclareSubclass(sub, super string) {
+	st.supers[sub] = append(st.supers[sub], super)
+}
+
+// Signatures returns all declared signatures sorted by class name.
+func (st *Store) Signatures() []*Signature {
+	out := make([]*Signature, 0, len(st.signatures))
+	for _, s := range st.signatures {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// Put creates (or returns the existing) object with the given id.
+func (st *Store) Put(id OID) *Object {
+	if o, ok := st.objects[id]; ok {
+		return o
+	}
+	o := newObject(id)
+	st.objects[id] = o
+	return o
+}
+
+// Get returns the object with the given id, or nil.
+func (st *Store) Get(id OID) *Object { return st.objects[id] }
+
+// Len returns the number of objects in the store.
+func (st *Store) Len() int { return len(st.objects) }
+
+// AddClass asserts id : class.
+func (st *Store) AddClass(id OID, class string) { st.Put(id).classes[class] = true }
+
+// SetAttr asserts the functional attribute id[attr → val].
+func (st *Store) SetAttr(id OID, attr string, val Term) { st.Put(id).funct[attr] = val }
+
+// AddAttr asserts membership in the set-valued attribute id[attr ⇒ val],
+// deduplicating.
+func (st *Store) AddAttr(id OID, attr string, val Term) {
+	o := st.Put(id)
+	for _, t := range o.setval[attr] {
+		if t.Equal(val) {
+			return
+		}
+	}
+	o.setval[attr] = append(o.setval[attr], val)
+}
+
+// IsA reports whether the object belongs to the class, directly or through
+// the subclass lattice.
+func (st *Store) IsA(id OID, class string) bool {
+	o := st.objects[id]
+	if o == nil {
+		return false
+	}
+	seen := make(map[string]bool)
+	var reach func(c string) bool
+	reach = func(c string) bool {
+		if c == class {
+			return true
+		}
+		if seen[c] {
+			return false
+		}
+		seen[c] = true
+		for _, sup := range st.supers[c] {
+			if reach(sup) {
+				return true
+			}
+		}
+		return false
+	}
+	for c := range o.classes {
+		if reach(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Members returns the ids of all objects belonging to the class (including
+// through subclassing), sorted.
+func (st *Store) Members(class string) []OID {
+	var out []OID
+	for id := range st.objects {
+		if st.IsA(id, class) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Objects returns all object ids, sorted.
+func (st *Store) Objects() []OID {
+	out := make([]OID, 0, len(st.objects))
+	for id := range st.objects {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Path evaluates the F-logic path expression id.a1.a2...an over functional
+// attributes, dereferencing object-valued steps, and returns the final
+// term.
+func (st *Store) Path(id OID, attrs ...string) (Term, bool) {
+	cur := R(id)
+	for _, a := range attrs {
+		if cur.Kind != TermRef {
+			return Term{}, false
+		}
+		o := st.objects[cur.Ref]
+		if o == nil {
+			return Term{}, false
+		}
+		t, ok := o.funct[a]
+		if !ok {
+			return Term{}, false
+		}
+		cur = t
+	}
+	return cur, true
+}
+
+// TypeErrors checks every object against the signatures of its classes and
+// returns a description of each violation: undeclared attributes, a
+// set-valued attribute used functionally (or vice versa), and scalar type
+// mismatches. Objects of undeclared classes are not checked — the open
+// world of the Web always contains unanticipated structure.
+func (st *Store) TypeErrors() []string {
+	var errs []string
+	for _, id := range st.Objects() {
+		o := st.objects[id]
+		for c := range o.classes {
+			sig := st.signatures[c]
+			if sig == nil {
+				continue
+			}
+			for attr, val := range o.funct {
+				decl, ok := sig.attr(attr)
+				if !ok {
+					continue // attribute may belong to another of o's classes
+				}
+				if decl.SetValued {
+					errs = append(errs, fmt.Sprintf("%s: attribute %s of class %s is set-valued but used functionally", id, attr, c))
+				} else if msg := typeMatch(decl.Type, val); msg != "" {
+					errs = append(errs, fmt.Sprintf("%s.%s: %s", id, attr, msg))
+				}
+			}
+			for attr, vals := range o.setval {
+				decl, ok := sig.attr(attr)
+				if !ok {
+					continue
+				}
+				if !decl.SetValued {
+					errs = append(errs, fmt.Sprintf("%s: attribute %s of class %s is functional but used set-valued", id, attr, c))
+					continue
+				}
+				for _, val := range vals {
+					if msg := typeMatch(decl.Type, val); msg != "" {
+						errs = append(errs, fmt.Sprintf("%s.%s: %s", id, attr, msg))
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(errs)
+	return errs
+}
+
+func typeMatch(declared string, val Term) string {
+	switch declared {
+	case "string":
+		if val.Kind != TermString {
+			return fmt.Sprintf("expected string, got %s", val)
+		}
+	case "int":
+		if val.Kind != TermInt {
+			return fmt.Sprintf("expected int, got %s", val)
+		}
+	default: // class-typed attribute: value must reference an object
+		if val.Kind != TermRef {
+			return fmt.Sprintf("expected %s object, got %s", declared, val)
+		}
+	}
+	return ""
+}
+
+// Clone deep-copies the store's objects. Signatures and the subclass
+// lattice are shared: they are schema, not state.
+func (st *Store) Clone() *Store {
+	out := &Store{
+		objects:    make(map[OID]*Object, len(st.objects)),
+		signatures: st.signatures,
+		supers:     st.supers,
+	}
+	for id, o := range st.objects {
+		n := newObject(id)
+		for c := range o.classes {
+			n.classes[c] = true
+		}
+		for k, v := range o.funct {
+			n.funct[k] = v
+		}
+		for k, vs := range o.setval {
+			n.setval[k] = append([]Term(nil), vs...)
+		}
+		out.objects[id] = n
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package flogic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// figure3Store builds a store with the paper's Figure 3 signatures and the
+// Newsday form object of Section 4.
+func figure3Store() *Store {
+	st := NewStore()
+	st.DeclareClass(&Signature{Class: "form", Attrs: []AttrSig{
+		{Name: "cgi", Type: "string"},
+		{Name: "method", Type: "string"},
+		{Name: "mandatory", SetValued: true, Type: "string"},
+		{Name: "optional", SetValued: true, Type: "string"},
+	}})
+	st.DeclareClass(&Signature{Class: "action", Attrs: []AttrSig{
+		{Name: "source", Type: "page"},
+	}})
+	st.DeclareClass(&Signature{Class: "submit_form", Attrs: []AttrSig{
+		{Name: "form", Type: "form"},
+		{Name: "source", Type: "page"},
+	}})
+	st.DeclareClass(&Signature{Class: "web_page", Attrs: []AttrSig{
+		{Name: "address", Type: "string"},
+		{Name: "title", Type: "string"},
+		{Name: "actions", SetValued: true, Type: "action"},
+	}})
+	st.DeclareSubclass("submit_form", "action")
+	st.DeclareSubclass("follow_link", "action")
+	st.DeclareSubclass("data_page", "web_page")
+
+	st.AddClass("form01", "form")
+	st.SetAttr("form01", "cgi", S("cgi_bin/nclassy"))
+	st.SetAttr("form01", "method", S("post"))
+	st.AddAttr("form01", "mandatory", S("make"))
+	st.AddAttr("form01", "mandatory", S("model"))
+	st.AddAttr("form01", "optional", S("year"))
+
+	st.AddClass("submit01", "submit_form")
+	st.SetAttr("submit01", "form", R("form01"))
+	st.SetAttr("submit01", "source", R("page01"))
+
+	st.AddClass("page01", "web_page")
+	st.SetAttr("page01", "address", S("http://www.newsday.com"))
+	st.SetAttr("page01", "title", S("Newsday Classified"))
+	st.AddAttr("page01", "actions", R("submit01"))
+	return st
+}
+
+func TestObjectBasics(t *testing.T) {
+	st := figure3Store()
+	f := st.Get("form01")
+	if f == nil {
+		t.Fatal("form01 missing")
+	}
+	if got, _ := f.Get("cgi"); got.Str != "cgi_bin/nclassy" {
+		t.Errorf("cgi = %v", got)
+	}
+	if got := f.GetAll("mandatory"); len(got) != 2 {
+		t.Errorf("mandatory = %v", got)
+	}
+	if f.AttrCount() != 5 { // cgi, method + 2 mandatory + 1 optional
+		t.Errorf("AttrCount = %d, want 5", f.AttrCount())
+	}
+	if got := f.Classes(); len(got) != 1 || got[0] != "form" {
+		t.Errorf("classes = %v", got)
+	}
+	if got := f.FunctAttrs(); strings.Join(got, ",") != "cgi,method" {
+		t.Errorf("funct attrs = %v", got)
+	}
+	if got := f.SetAttrs(); strings.Join(got, ",") != "mandatory,optional" {
+		t.Errorf("set attrs = %v", got)
+	}
+}
+
+func TestAddAttrDedupes(t *testing.T) {
+	st := NewStore()
+	st.AddAttr("x", "s", S("a"))
+	st.AddAttr("x", "s", S("a"))
+	if got := st.Get("x").GetAll("s"); len(got) != 1 {
+		t.Errorf("dedup failed: %v", got)
+	}
+}
+
+func TestIsAWithSubclassing(t *testing.T) {
+	st := figure3Store()
+	if !st.IsA("submit01", "submit_form") {
+		t.Error("direct class failed")
+	}
+	if !st.IsA("submit01", "action") {
+		t.Error("subclass inference failed")
+	}
+	if st.IsA("submit01", "web_page") {
+		t.Error("wrong class accepted")
+	}
+	if st.IsA("nosuch", "action") {
+		t.Error("missing object accepted")
+	}
+	// Cycles in the lattice must not loop forever.
+	st.DeclareSubclass("a", "b")
+	st.DeclareSubclass("b", "a")
+	st.AddClass("o", "a")
+	if !st.IsA("o", "b") || st.IsA("o", "zzz") {
+		t.Error("cyclic lattice handled wrong")
+	}
+}
+
+func TestMembers(t *testing.T) {
+	st := figure3Store()
+	actions := st.Members("action")
+	if len(actions) != 1 || actions[0] != "submit01" {
+		t.Errorf("members(action) = %v", actions)
+	}
+	if got := st.Members("web_page"); len(got) != 1 {
+		t.Errorf("members(web_page) = %v", got)
+	}
+}
+
+func TestPathExpressions(t *testing.T) {
+	st := figure3Store()
+	// page01.actions is set-valued; path works over functional chains:
+	// submit01.form.cgi
+	got, ok := st.Path("submit01", "form", "cgi")
+	if !ok || got.Str != "cgi_bin/nclassy" {
+		t.Errorf("path = %v %v", got, ok)
+	}
+	if _, ok := st.Path("submit01", "form", "nosuch"); ok {
+		t.Error("missing attr should fail")
+	}
+	if _, ok := st.Path("submit01", "form", "cgi", "deeper"); ok {
+		t.Error("path through scalar should fail")
+	}
+	if _, ok := st.Path("ghost", "x"); ok {
+		t.Error("missing object should fail")
+	}
+	// Zero-length path returns the object reference itself.
+	if got, ok := st.Path("form01"); !ok || got.Ref != "form01" {
+		t.Errorf("empty path = %v %v", got, ok)
+	}
+}
+
+func TestTypeCheckClean(t *testing.T) {
+	st := figure3Store()
+	if errs := st.TypeErrors(); len(errs) != 0 {
+		t.Errorf("unexpected type errors: %v", errs)
+	}
+}
+
+func TestTypeCheckViolations(t *testing.T) {
+	st := figure3Store()
+	// Wrong scalar type.
+	st.SetAttr("form01", "cgi", I(42))
+	// Functional attribute used set-valued.
+	st.AddAttr("form01", "method", S("get"))
+	// Set-valued used functionally.
+	st.SetAttr("form01", "mandatory", S("oops"))
+	// Object-typed attribute holding a scalar.
+	st.SetAttr("submit01", "form", S("not-a-ref"))
+	errs := st.TypeErrors()
+	if len(errs) != 4 {
+		t.Fatalf("got %d errors, want 4: %v", len(errs), errs)
+	}
+}
+
+func TestSignatureString(t *testing.T) {
+	sig := &Signature{Class: "form", Attrs: []AttrSig{
+		{Name: "cgi", Type: "string"},
+		{Name: "mandatory", SetValued: true, Type: "string"},
+	}}
+	got := sig.String()
+	if !strings.Contains(got, "form[") || !strings.Contains(got, "cgi => string") ||
+		!strings.Contains(got, "mandatory =>> string") {
+		t.Errorf("signature rendering: %q", got)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	st := figure3Store()
+	cp := st.Clone()
+	cp.SetAttr("form01", "cgi", S("changed"))
+	cp.AddAttr("form01", "mandatory", S("extra"))
+	cp.AddClass("newobj", "form")
+
+	if got, _ := st.Get("form01").Get("cgi"); got.Str != "cgi_bin/nclassy" {
+		t.Error("clone mutation leaked into original (funct)")
+	}
+	if len(st.Get("form01").GetAll("mandatory")) != 2 {
+		t.Error("clone mutation leaked into original (setval)")
+	}
+	if st.Get("newobj") != nil {
+		t.Error("clone mutation leaked into original (objects)")
+	}
+	// Signatures are intentionally shared.
+	if len(cp.Signatures()) != len(st.Signatures()) {
+		t.Error("signatures should be shared")
+	}
+}
+
+func TestTermString(t *testing.T) {
+	if S("x").String() != `"x"` || I(3).String() != "3" || R("o").String() != "o" {
+		t.Error("term rendering wrong")
+	}
+}
+
+// Property: Clone always yields a store with identical object ids and
+// attribute counts, and mutating the clone never changes the original's
+// total attribute count.
+func TestClonePreservesShape(t *testing.T) {
+	prop := func(ids []string, attrs []string) bool {
+		st := NewStore()
+		for i, id := range ids {
+			if id == "" {
+				continue
+			}
+			st.AddClass(OID(id), "c")
+			if len(attrs) > 0 {
+				a := attrs[i%len(attrs)]
+				if a == "" {
+					a = "a"
+				}
+				st.SetAttr(OID(id), a, I(int64(i)))
+				st.AddAttr(OID(id), a+"_s", S(id))
+			}
+		}
+		before := totalAttrs(st)
+		cp := st.Clone()
+		if totalAttrs(cp) != before || cp.Len() != st.Len() {
+			return false
+		}
+		for _, id := range cp.Objects() {
+			cp.SetAttr(id, "mut", S("x"))
+		}
+		return totalAttrs(st) == before
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func totalAttrs(st *Store) int {
+	n := 0
+	for _, id := range st.Objects() {
+		n += st.Get(id).AttrCount()
+	}
+	return n
+}

@@ -1,0 +1,367 @@
+package htmlkit
+
+import (
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Link is a hyperlink found on a page: the F-logic link class of Figure 3
+// (name ; string, address ; url).
+type Link struct {
+	Name    string // anchor text, whitespace-normalized
+	Address string // absolute URL after resolution against the page URL
+}
+
+// WidgetType classifies a form input, mirroring the paper's attrValPair
+// "type ; widget" attribute (checkbox, select, radio, text etc.).
+type WidgetType string
+
+// Widget types recognized by the extractor.
+const (
+	WidgetText     WidgetType = "text"
+	WidgetHidden   WidgetType = "hidden"
+	WidgetSelect   WidgetType = "select"
+	WidgetRadio    WidgetType = "radio"
+	WidgetCheckbox WidgetType = "checkbox"
+	WidgetTextarea WidgetType = "textarea"
+	WidgetSubmit   WidgetType = "submit"
+)
+
+// Field is one form attribute: the F-logic attrValPair class (attrName,
+// type, default, value) enriched with the domain information the map
+// builder infers (Section 7: option values, maximum length, defaults).
+type Field struct {
+	Name      string
+	Widget    WidgetType
+	Default   string
+	Domain    []string // permitted values (select options, radio values)
+	MaxLength int      // for text fields; 0 = unlimited
+	Mandatory bool     // inferred: radio buttons are mandatory (Section 7)
+}
+
+// Form is an HTML form: the F-logic form class (cgi ; url, method ; meth,
+// mandatory ⇒ attribute, optional ⇒ attribute).
+type Form struct {
+	Name   string // the form's name attribute, if any
+	Action string // absolute CGI URL
+	Method string // "get" or "post"
+	Fields []Field
+}
+
+// Field returns the named field and whether it exists.
+func (f *Form) Field(name string) (Field, bool) {
+	for _, fl := range f.Fields {
+		if fl.Name == name {
+			return fl, true
+		}
+	}
+	return Field{}, false
+}
+
+// MandatoryFields returns the names of fields inferred mandatory.
+func (f *Form) MandatoryFields() []string {
+	var out []string
+	for _, fl := range f.Fields {
+		if fl.Mandatory {
+			out = append(out, fl.Name)
+		}
+	}
+	return out
+}
+
+// OptionalFields returns the names of data fields not inferred mandatory
+// (submit buttons are excluded: they carry no data).
+func (f *Form) OptionalFields() []string {
+	var out []string
+	for _, fl := range f.Fields {
+		if !fl.Mandatory && fl.Widget != WidgetSubmit {
+			out = append(out, fl.Name)
+		}
+	}
+	return out
+}
+
+// Resolve resolves ref against base, returning ref unchanged when base is
+// unparsable. It tolerates the bare host-relative references common on old
+// sites.
+func Resolve(base, ref string) string {
+	b, err := url.Parse(base)
+	if err != nil {
+		return ref
+	}
+	r, err := url.Parse(ref)
+	if err != nil {
+		return ref
+	}
+	return b.ResolveReference(r).String()
+}
+
+// Title returns the document title, or "" when absent.
+func Title(doc *Node) string {
+	if t := doc.Find("title"); t != nil {
+		return t.Text()
+	}
+	return ""
+}
+
+// Links extracts all <a href> links, resolving addresses against baseURL.
+func Links(doc *Node, baseURL string) []Link {
+	var out []Link
+	for _, a := range doc.FindAll("a") {
+		href, ok := a.Attr("href")
+		if !ok || href == "" {
+			continue
+		}
+		out = append(out, Link{Name: a.Text(), Address: Resolve(baseURL, href)})
+	}
+	return out
+}
+
+// Forms extracts all forms with their typed fields, resolving action URLs
+// against baseURL. Radio groups collapse into a single Field whose Domain
+// lists the group's values.
+func Forms(doc *Node, baseURL string) []Form {
+	var out []Form
+	for _, fn := range doc.FindAll("form") {
+		f := Form{
+			Name:   fn.AttrOr("name", ""),
+			Action: Resolve(baseURL, fn.AttrOr("action", baseURL)),
+			Method: strings.ToLower(fn.AttrOr("method", "get")),
+		}
+		radio := make(map[string]*Field)
+		fn.Walk(func(n *Node) bool {
+			if n.Type != ElementNode {
+				return true
+			}
+			switch n.Data {
+			case "input":
+				extractInput(n, &f, radio)
+			case "select":
+				extractSelect(n, &f)
+				return false // options handled inside
+			case "textarea":
+				f.Fields = append(f.Fields, Field{
+					Name:    n.AttrOr("name", ""),
+					Widget:  WidgetTextarea,
+					Default: n.Text(),
+				})
+			}
+			return true
+		})
+		out = append(out, f)
+	}
+	return out
+}
+
+func extractInput(n *Node, f *Form, radio map[string]*Field) {
+	name := n.AttrOr("name", "")
+	typ := strings.ToLower(n.AttrOr("type", "text"))
+	val := n.AttrOr("value", "")
+	switch typ {
+	case "radio":
+		// Radio buttons imply a mandatory attribute whose domain is the
+		// union of the group's values (Section 7).
+		fl, ok := radio[name]
+		if !ok {
+			f.Fields = append(f.Fields, Field{Name: name, Widget: WidgetRadio, Mandatory: true})
+			fl = &f.Fields[len(f.Fields)-1]
+			radio[name] = fl
+		}
+		fl.Domain = append(fl.Domain, val)
+		if _, checked := n.Attr("checked"); checked {
+			fl.Default = val
+		}
+	case "checkbox":
+		f.Fields = append(f.Fields, Field{Name: name, Widget: WidgetCheckbox, Default: defaultChecked(n, val), Domain: []string{val}})
+	case "hidden":
+		f.Fields = append(f.Fields, Field{Name: name, Widget: WidgetHidden, Default: val})
+	case "submit", "image", "button", "reset":
+		if name != "" {
+			f.Fields = append(f.Fields, Field{Name: name, Widget: WidgetSubmit, Default: val})
+		}
+	default: // text, search, and anything unknown degrade to text
+		maxLen, _ := strconv.Atoi(n.AttrOr("maxlength", "0"))
+		_, required := n.Attr("required")
+		f.Fields = append(f.Fields, Field{
+			Name: name, Widget: WidgetText, Default: val,
+			MaxLength: maxLen, Mandatory: required,
+		})
+	}
+}
+
+func defaultChecked(n *Node, val string) string {
+	if _, ok := n.Attr("checked"); ok {
+		return val
+	}
+	return ""
+}
+
+func extractSelect(n *Node, f *Form) {
+	fl := Field{Name: n.AttrOr("name", ""), Widget: WidgetSelect}
+	for _, opt := range n.FindAll("option") {
+		v := opt.AttrOr("value", opt.Text())
+		fl.Domain = append(fl.Domain, v)
+		if _, sel := opt.Attr("selected"); sel || fl.Default == "" {
+			if sel {
+				fl.Default = v
+			}
+		}
+	}
+	// A selection list with no empty option effectively forces a choice;
+	// the paper's extractor infers the domain from the list either way.
+	f.Fields = append(f.Fields, fl)
+}
+
+// Tables extracts each <table> as a matrix of cell texts, one row per <tr>,
+// one entry per <td>/<th>.
+func Tables(doc *Node) [][][]string {
+	var out [][][]string
+	for _, tbl := range doc.FindAll("table") {
+		var rows [][]string
+		for _, tr := range rowsOf(tbl) {
+			var cells []string
+			for _, c := range tr.Children {
+				if c.IsElement("td") || c.IsElement("th") {
+					cells = append(cells, c.Text())
+				}
+			}
+			if len(cells) > 0 {
+				rows = append(rows, cells)
+			}
+		}
+		out = append(out, rows)
+	}
+	return out
+}
+
+// DataRow is one extracted table row: cell texts by lower-cased column
+// name, plus any links found in the row's cells by link text.
+type DataRow struct {
+	Cells map[string]string
+	Links map[string]string // link text → absolute URL
+}
+
+// DataTable finds the first table whose header contains all the given
+// columns (case-insensitive) and returns its body rows with per-row links
+// resolved against baseURL. It returns nil when no table matches.
+func DataTable(doc *Node, baseURL string, columns ...string) []DataRow {
+	for _, tbl := range doc.FindAll("table") {
+		trs := rowsOf(tbl)
+		if len(trs) == 0 {
+			continue
+		}
+		idx := make(map[string]int)
+		for i, c := range cellsOf(trs[0]) {
+			idx[strings.ToLower(strings.TrimSpace(c.Text()))] = i
+		}
+		ok := true
+		for _, c := range columns {
+			if _, found := idx[strings.ToLower(c)]; !found {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Non-nil even when empty: a matching table with no body rows is
+		// still a data page (a search that found nothing), distinct from
+		// "no such table here".
+		rows := []DataRow{}
+		for _, tr := range trs[1:] {
+			cells := cellsOf(tr)
+			if len(cells) == 0 {
+				continue
+			}
+			row := DataRow{Cells: make(map[string]string), Links: make(map[string]string)}
+			for name, i := range idx {
+				if i < len(cells) {
+					row.Cells[name] = cells[i].Text()
+				}
+			}
+			for _, cell := range cells {
+				for _, a := range cell.FindAll("a") {
+					if href, has := a.Attr("href"); has {
+						row.Links[a.Text()] = Resolve(baseURL, href)
+					}
+				}
+			}
+			rows = append(rows, row)
+		}
+		return rows
+	}
+	return nil
+}
+
+func cellsOf(tr *Node) []*Node {
+	var out []*Node
+	for _, c := range tr.Children {
+		if c.IsElement("td") || c.IsElement("th") {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// rowsOf returns the <tr> rows belonging to tbl itself, descending through
+// grouping elements (thead/tbody/tfoot) but NOT into nested tables — the
+// layout-table soup of the era would otherwise leak inner rows into the
+// outer table's extraction.
+func rowsOf(tbl *Node) []*Node {
+	var out []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for _, c := range n.Children {
+			if c.IsElement("table") {
+				continue // nested table: its rows are its own
+			}
+			if c.IsElement("tr") {
+				out = append(out, c)
+				continue // cells may contain nested tables; don't descend
+			}
+			walk(c)
+		}
+	}
+	walk(tbl)
+	return out
+}
+
+// TableWithHeader finds the first table whose header row contains all the
+// given column names (case-insensitive) and returns its body rows as
+// column-name → cell-text maps. This is the workhorse for data-page
+// extraction scripts.
+func TableWithHeader(doc *Node, columns ...string) []map[string]string {
+	for _, tbl := range Tables(doc) {
+		if len(tbl) == 0 {
+			continue
+		}
+		header := tbl[0]
+		idx := make(map[string]int)
+		for i, h := range header {
+			idx[strings.ToLower(strings.TrimSpace(h))] = i
+		}
+		ok := true
+		for _, c := range columns {
+			if _, found := idx[strings.ToLower(c)]; !found {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		rows := []map[string]string{}
+		for _, r := range tbl[1:] {
+			m := make(map[string]string, len(header))
+			for h, i := range idx {
+				if i < len(r) {
+					m[h] = r[i]
+				}
+			}
+			rows = append(rows, m)
+		}
+		return rows
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package htmlkit
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the lenient parser with arbitrary bytes: it must never
+// panic, must terminate, and must produce a tree whose parent pointers are
+// consistent. Run with `go test -fuzz=FuzzParse ./internal/htmlkit` to
+// search beyond the seed corpus.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"<html><body>hello</body></html>",
+		"<table><tr><td>a<td>b<tr><td>c</table>",
+		"<a href='x",
+		"<p><b><i>misnested</b></i>",
+		"<!DOCTYPE html><!-- c --><script>if(a<b){}</script>",
+		"<form><select><option>x<option value='y'>z</select></form>",
+		"&amp;&#65;&#x41;&nope;&",
+		"<<<>>><//><1>",
+		strings.Repeat("<div>", 100),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc := Parse(data)
+		doc.Walk(func(n *Node) bool {
+			for _, c := range n.Children {
+				if c.Parent != n {
+					t.Fatal("broken parent pointer")
+				}
+			}
+			return true
+		})
+		// Extraction helpers must also be total.
+		_ = Links(doc, "http://fuzz.example/")
+		_ = Forms(doc, "http://fuzz.example/")
+		_ = Tables(doc)
+		_ = Title(doc)
+	})
+}
+
+// FuzzDecodeEntities checks the decoder is total and never grows the
+// input unboundedly (a decoded entity is never longer than its reference).
+func FuzzDecodeEntities(f *testing.F) {
+	for _, s := range []string{"&amp;", "&#65;", "&#x41;", "&bogus;", "a&b", "&&&&", "&#xffffffffff;"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		out := DecodeEntities(s)
+		if len(out) > len(s)+4 {
+			t.Fatalf("decode grew input: %d → %d", len(s), len(out))
+		}
+	})
+}

@@ -1,0 +1,188 @@
+package htmlkit
+
+import "strings"
+
+// NodeType discriminates tree nodes.
+type NodeType uint8
+
+// Node types in the parsed tree.
+const (
+	DocumentNode NodeType = iota
+	ElementNode
+	TextNode
+	CommentNode
+)
+
+// Node is one node of the lenient parse tree.
+type Node struct {
+	Type     NodeType
+	Data     string // tag name for elements, content for text/comments
+	Attrs    []Attr
+	Parent   *Node
+	Children []*Node
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// AttrOr returns the attribute value or def when absent.
+func (n *Node) AttrOr(name, def string) string {
+	if v, ok := n.Attr(name); ok {
+		return v
+	}
+	return def
+}
+
+// IsElement reports whether n is an element with the given tag name.
+func (n *Node) IsElement(tag string) bool {
+	return n.Type == ElementNode && n.Data == tag
+}
+
+// appendChild attaches c as the last child of n.
+func (n *Node) appendChild(c *Node) {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+}
+
+// Walk visits n and all descendants in document order. Returning false from
+// fn prunes the subtree below the current node.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// FindAll returns all descendant elements (including n itself) with the
+// given tag name, in document order.
+func (n *Node) FindAll(tag string) []*Node {
+	var out []*Node
+	n.Walk(func(m *Node) bool {
+		if m.IsElement(tag) {
+			out = append(out, m)
+		}
+		return true
+	})
+	return out
+}
+
+// Find returns the first descendant element with the given tag, or nil.
+func (n *Node) Find(tag string) *Node {
+	all := n.FindAll(tag)
+	if len(all) == 0 {
+		return nil
+	}
+	return all[0]
+}
+
+// Text returns the concatenated text content of the subtree, with runs of
+// whitespace collapsed to single spaces and leading/trailing space trimmed.
+func (n *Node) Text() string {
+	var sb strings.Builder
+	n.Walk(func(m *Node) bool {
+		if m.Type == TextNode {
+			sb.WriteString(m.Data)
+			sb.WriteByte(' ')
+		}
+		return true
+	})
+	return strings.Join(strings.Fields(sb.String()), " ")
+}
+
+// voidElements never have children; their start tag is the whole element.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// autoClose lists, for each tag, the open tags that an occurrence of it
+// implicitly closes. This captures the common omitted-end-tag patterns in
+// 1990s HTML (e.g. successive <li>, <tr>, <td>, <option> without closers).
+var autoClose = map[string][]string{
+	"li":     {"li"},
+	"tr":     {"tr", "td", "th"},
+	"td":     {"td", "th"},
+	"th":     {"td", "th"},
+	"option": {"option"},
+	"p":      {"p"},
+	"dt":     {"dt", "dd"},
+	"dd":     {"dt", "dd"},
+}
+
+// Parse builds a lenient parse tree from src. It never fails: unclosed
+// elements are closed at end of input, stray end tags are dropped, and
+// mis-nesting is repaired by popping to the nearest matching open element.
+func Parse(src []byte) *Node {
+	doc := &Node{Type: DocumentNode}
+	stack := []*Node{doc}
+	top := func() *Node { return stack[len(stack)-1] }
+
+	z := NewTokenizer(src)
+	for {
+		tok, ok := z.Next()
+		if !ok {
+			break
+		}
+		switch tok.Type {
+		case TextToken:
+			if strings.TrimSpace(tok.Data) == "" {
+				continue
+			}
+			top().appendChild(&Node{Type: TextNode, Data: tok.Data})
+		case CommentToken:
+			top().appendChild(&Node{Type: CommentNode, Data: tok.Data})
+		case DoctypeToken:
+			// Ignored; the webbase does not need doctype information.
+		case StartTagToken, SelfClosingTagToken:
+			if closes, ok := autoClose[tok.Data]; ok {
+				popAutoClosed(&stack, closes)
+			}
+			el := &Node{Type: ElementNode, Data: tok.Data, Attrs: tok.Attrs}
+			top().appendChild(el)
+			if tok.Type == StartTagToken && !voidElements[tok.Data] {
+				stack = append(stack, el)
+			}
+		case EndTagToken:
+			// Pop to the matching open element if one exists; otherwise
+			// drop the stray end tag.
+			for i := len(stack) - 1; i >= 1; i-- {
+				if stack[i].Data == tok.Data {
+					stack = stack[:i]
+					break
+				}
+			}
+		}
+	}
+	return doc
+}
+
+// popAutoClosed closes the innermost run of elements named in closes. Only
+// the immediate top of stack is considered at each step so that, e.g., a
+// new <tr> closes an open <td> and then an open <tr>, but never escapes the
+// enclosing <table>.
+func popAutoClosed(stack *[]*Node, closes []string) {
+	for len(*stack) > 1 {
+		topName := (*stack)[len(*stack)-1].Data
+		matched := false
+		for _, c := range closes {
+			if topName == c {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return
+		}
+		*stack = (*stack)[:len(*stack)-1]
+	}
+}

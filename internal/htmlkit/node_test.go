@@ -1,0 +1,134 @@
+package htmlkit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseTree(t *testing.T) {
+	doc := Parse([]byte(`<html><head><title>T</title></head><body><p>one<p>two</body></html>`))
+	if got := Title(doc); got != "T" {
+		t.Errorf("Title = %q", got)
+	}
+	ps := doc.FindAll("p")
+	if len(ps) != 2 {
+		t.Fatalf("auto-close of <p> failed: %d paragraphs", len(ps))
+	}
+	if ps[0].Text() != "one" || ps[1].Text() != "two" {
+		t.Errorf("paragraph texts: %q %q", ps[0].Text(), ps[1].Text())
+	}
+}
+
+func TestParseVoidElements(t *testing.T) {
+	doc := Parse([]byte(`<p>a<br>b<img src=x>c</p>`))
+	p := doc.Find("p")
+	if p == nil {
+		t.Fatal("no p")
+	}
+	if got := p.Text(); got != "a b c" {
+		t.Errorf("text = %q, want %q", got, "a b c")
+	}
+	if img := p.Find("img"); img == nil || len(img.Children) != 0 {
+		t.Error("img should be a childless element inside p")
+	}
+}
+
+func TestParseTableAutoClose(t *testing.T) {
+	// 1990s-style table with no </td>/</tr>.
+	src := `<table><tr><td>a<td>b<tr><td>c<td>d</table>`
+	tbls := Tables(Parse([]byte(src)))
+	if len(tbls) != 1 {
+		t.Fatalf("tables: %d", len(tbls))
+	}
+	want := [][]string{{"a", "b"}, {"c", "d"}}
+	got := tbls[0]
+	if len(got) != 2 || got[0][0] != "a" || got[0][1] != "b" || got[1][0] != "c" || got[1][1] != "d" {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestParseMisnesting(t *testing.T) {
+	// <b><i></b></i> — classic mis-nesting; must not lose text or panic.
+	doc := Parse([]byte(`<b><i>x</b></i>y`))
+	if got := doc.Text(); got != "x y" {
+		t.Errorf("text = %q", got)
+	}
+}
+
+func TestParseStrayEndTags(t *testing.T) {
+	doc := Parse([]byte(`</div>hello</p></table>`))
+	if got := doc.Text(); got != "hello" {
+		t.Errorf("text = %q", got)
+	}
+}
+
+func TestParseUnclosedAtEOF(t *testing.T) {
+	doc := Parse([]byte(`<html><body><div><span>deep`))
+	if got := doc.Text(); got != "deep" {
+		t.Errorf("text = %q", got)
+	}
+	if doc.Find("span") == nil {
+		t.Error("span lost")
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	doc := Parse([]byte(`<div><p>in</p></div><p>out</p>`))
+	var seen []string
+	doc.Walk(func(n *Node) bool {
+		if n.IsElement("div") {
+			return false // prune
+		}
+		if n.Type == TextNode {
+			seen = append(seen, n.Data)
+		}
+		return true
+	})
+	if len(seen) != 1 || seen[0] != "out" {
+		t.Errorf("seen = %v", seen)
+	}
+}
+
+func TestNestedListAutoClose(t *testing.T) {
+	doc := Parse([]byte(`<ul><li>a<li>b<li>c</ul>`))
+	if n := len(doc.FindAll("li")); n != 3 {
+		t.Errorf("li count = %d, want 3", n)
+	}
+	// Items must be siblings, not nested.
+	ul := doc.Find("ul")
+	count := 0
+	for _, c := range ul.Children {
+		if c.IsElement("li") {
+			count++
+		}
+	}
+	if count != 3 {
+		t.Errorf("li siblings under ul = %d, want 3", count)
+	}
+}
+
+// Property: Parse never panics and yields a tree whose every node's children
+// point back to it, for arbitrary input.
+func TestParseNeverPanicsAndIsWellFormed(t *testing.T) {
+	prop := func(b []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		doc := Parse(b)
+		wellFormed := true
+		doc.Walk(func(n *Node) bool {
+			for _, c := range n.Children {
+				if c.Parent != n {
+					wellFormed = false
+				}
+			}
+			return true
+		})
+		return wellFormed
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,198 @@
+package htmlkit
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func tokens(t *testing.T, src string) []Token {
+	t.Helper()
+	z := NewTokenizer([]byte(src))
+	var out []Token
+	for {
+		tok, ok := z.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func TestTokenizeBasic(t *testing.T) {
+	toks := tokens(t, `<html><body class="x">Hi &amp; bye</body></html>`)
+	want := []Token{
+		{Type: StartTagToken, Data: "html"},
+		{Type: StartTagToken, Data: "body", Attrs: []Attr{{"class", "x"}}},
+		{Type: TextToken, Data: "Hi & bye"},
+		{Type: EndTagToken, Data: "body"},
+		{Type: EndTagToken, Data: "html"},
+	}
+	if !reflect.DeepEqual(toks, want) {
+		t.Errorf("got %#v\nwant %#v", toks, want)
+	}
+}
+
+func TestTokenizeAttrForms(t *testing.T) {
+	toks := tokens(t, `<input type=text name='q' value="a b" checked>`)
+	if len(toks) != 1 {
+		t.Fatalf("got %d tokens", len(toks))
+	}
+	tok := toks[0]
+	for name, want := range map[string]string{
+		"type": "text", "name": "q", "value": "a b", "checked": "",
+	} {
+		if got, ok := tok.Attr(name); !ok || got != want {
+			t.Errorf("attr %q = %q,%v; want %q", name, got, ok, want)
+		}
+	}
+	if _, ok := tok.Attr("missing"); ok {
+		t.Error("missing attribute reported present")
+	}
+}
+
+func TestTokenizeSelfClosing(t *testing.T) {
+	toks := tokens(t, `<br/><img src="x.gif" />`)
+	if toks[0].Type != SelfClosingTagToken || toks[1].Type != SelfClosingTagToken {
+		t.Errorf("expected self-closing tokens, got %#v", toks)
+	}
+}
+
+func TestTokenizeCommentAndDoctype(t *testing.T) {
+	toks := tokens(t, `<!DOCTYPE html><!-- note -->x`)
+	if toks[0].Type != DoctypeToken || toks[0].Data != "DOCTYPE html" {
+		t.Errorf("doctype: %#v", toks[0])
+	}
+	if toks[1].Type != CommentToken || toks[1].Data != " note " {
+		t.Errorf("comment: %#v", toks[1])
+	}
+	if toks[2].Type != TextToken || toks[2].Data != "x" {
+		t.Errorf("text: %#v", toks[2])
+	}
+}
+
+func TestTokenizeScriptRawText(t *testing.T) {
+	toks := tokens(t, `<script>if (a < b) { x("&amp;") }</script>after`)
+	if toks[0].Data != "script" {
+		t.Fatalf("first token: %#v", toks[0])
+	}
+	if toks[1].Type != TextToken || toks[1].Data != `if (a < b) { x("&amp;") }` {
+		t.Errorf("raw text not preserved: %#v", toks[1])
+	}
+	if toks[2].Type != EndTagToken || toks[2].Data != "script" {
+		t.Errorf("end tag: %#v", toks[2])
+	}
+	if toks[3].Data != "after" {
+		t.Errorf("trailing text: %#v", toks[3])
+	}
+}
+
+func TestTokenizeMalformed(t *testing.T) {
+	cases := []string{
+		"<",                      // lone open bracket
+		"a < b",                  // comparison in text
+		"<a href='unterminated",  // unterminated quote
+		"<div",                   // unterminated tag
+		"<!-- never closed",      // unterminated comment
+		"</>",                    // empty end tag
+		"<1abc>",                 // invalid tag name
+		"<a b=>x</a>",            // empty attr value
+		"<p a='1' a='1'",         // duplicate attrs, unterminated
+		"<script>while(1){}",     // unterminated raw text
+		"&#xZZ; &unknown; &amp",  // malformed entities
+		"<td><td></tr></table>x", // stray end tags
+	}
+	for _, src := range cases {
+		z := NewTokenizer([]byte(src))
+		n := 0
+		for {
+			_, ok := z.Next()
+			if !ok {
+				break
+			}
+			if n++; n > 1000 {
+				t.Fatalf("tokenizer did not terminate on %q", src)
+			}
+		}
+	}
+}
+
+// Property: tokenization always terminates and never panics, on arbitrary
+// byte soup — the recovery guarantee the paper's parser needs.
+func TestTokenizeNeverPanics(t *testing.T) {
+	prop := func(b []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		z := NewTokenizer(b)
+		for i := 0; ; i++ {
+			if _, more := z.Next(); !more {
+				break
+			}
+			if i > len(b)+10 {
+				return false // must make progress
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tokenizing HTML-ish random soup (more '<' and '>' density)
+// terminates too.
+func TestTokenizeHTMLSoup(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	alphabet := []byte(`<>/="' abcdiv!-&;#`)
+	for trial := 0; trial < 300; trial++ {
+		n := r.Intn(200)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		z := NewTokenizer(b)
+		for i := 0; ; i++ {
+			if _, ok := z.Next(); !ok {
+				break
+			}
+			if i > n+10 {
+				t.Fatalf("no progress on soup %q", b)
+			}
+		}
+	}
+}
+
+func TestDecodeEntities(t *testing.T) {
+	cases := map[string]string{
+		"a &amp; b":     "a & b",
+		"&lt;tag&gt;":   "<tag>",
+		"&#65;&#x42;":   "AB",
+		"&unknown;":     "&unknown;",
+		"no entities":   "no entities",
+		"&amp":          "&amp", // missing semicolon passes through
+		"&;":            "&;",
+		"&#xZZ;":        "&#xZZ;",
+		"&#0;":          "&#0;", // NUL rejected
+		"&nbsp;x":       " x",
+		"&quot;q&quot;": `"q"`,
+	}
+	for in, want := range cases {
+		if got := DecodeEntities(in); got != want {
+			t.Errorf("DecodeEntities(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEscapeRoundTrip(t *testing.T) {
+	prop := func(s string) bool {
+		return DecodeEntities(EscapeText(s)) == s && DecodeEntities(EscapeAttr(s)) == s
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,62 @@
+package logical
+
+import (
+	"webbase/internal/algebra"
+	"webbase/internal/vps"
+	"webbase/internal/web"
+)
+
+// StandardCatalog builds the logical layer of the used-car webbase: the
+// Table 2 views over the standard VPS.
+//
+//	classifieds(Make, Model, Year, Price, Contact, Features) =
+//	    π(newsday ⋈ newsdayCarFeatures) ∪ π(nyTimes)
+//	dealers(Make, Model, Year, Price, Features, ZipCode, Contact) =
+//	    carPoint ∪ʳ autoWeb ∪ʳ wwWheels ∪ʳ yahooCars
+//	bluePrice(Make, Model, Year, Condition, BBPrice) = kellys
+//	reliability(Make, Model, Safety)                 = carAndDriver
+//	reviews(Make, Model, Reliability)                = carReviews
+//	interest(ZipCode, Duration, Rate)                = carFinance
+//
+// dealers uses the relaxed union: yahooCars demands {Make, Model}, and a
+// strict union would impose that on the whole view; relaxed, a Make-only
+// query still answers from the other three dealers.
+func StandardCatalog(reg *vps.Registry, f web.Fetcher) (*Catalog, error) {
+	base := &VPSCatalog{Registry: reg, Fetcher: f}
+	cat := NewCatalog(base)
+
+	scan := func(name string) algebra.Expr { return &algebra.Scan{Relation: name} }
+	classifiedAttrs := []string{"Make", "Model", "Year", "Price", "Contact", "Features"}
+
+	classifieds := algebra.UnionAll(
+		&algebra.Project{
+			Input: &algebra.Join{Left: scan("newsday"), Right: scan("newsdayCarFeatures")},
+			Attrs: classifiedAttrs,
+		},
+		&algebra.Project{Input: scan("nyTimes"), Attrs: classifiedAttrs},
+	)
+	if err := cat.Define("classifieds", classifieds); err != nil {
+		return nil, err
+	}
+
+	dealers := algebra.RelaxedUnionAll(
+		scan("carPoint"), scan("autoWeb"), scan("wwWheels"), scan("yahooCars"),
+	)
+	if err := cat.Define("dealers", dealers); err != nil {
+		return nil, err
+	}
+
+	if err := cat.Define("bluePrice", scan("kellys")); err != nil {
+		return nil, err
+	}
+	if err := cat.Define("reliability", scan("carAndDriver")); err != nil {
+		return nil, err
+	}
+	if err := cat.Define("reviews", scan("carReviews")); err != nil {
+		return nil, err
+	}
+	if err := cat.Define("interest", scan("carFinance")); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}

@@ -1,0 +1,231 @@
+package navmap
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"webbase/internal/navcalc"
+	"webbase/internal/relation"
+	"webbase/internal/wrapper"
+)
+
+// The JSON persistence format for navigation maps. Maps built once by the
+// map builder are saved by the webbase designer and loaded at system
+// start; the on-disk form is stable, versioned and independent of Go
+// internals.
+
+// FormatVersion identifies the persisted map format.
+const FormatVersion = 1
+
+type mapJSON struct {
+	Version     int        `json:"version"`
+	Name        string     `json:"name"`
+	StartURL    string     `json:"start_url,omitempty"`
+	StartURLVar string     `json:"start_url_var,omitempty"`
+	Schema      []string   `json:"schema"`
+	Start       string     `json:"start"`
+	Nodes       []nodeJSON `json:"nodes"`
+	Edges       []edgeJSON `json:"edges"`
+}
+
+type nodeJSON struct {
+	ID      string       `json:"id"`
+	Title   string       `json:"title,omitempty"`
+	IsData  bool         `json:"is_data,omitempty"`
+	Extract *extractJSON `json:"extract,omitempty"`
+}
+
+type extractJSON struct {
+	Columns  []columnJSON  `json:"columns,omitempty"`
+	LinkCols []linkColJSON `json:"link_cols,omitempty"`
+	EnvCols  []envColJSON  `json:"env_cols,omitempty"`
+	Pattern  *patternJSON  `json:"pattern,omitempty"`
+}
+
+type columnJSON struct {
+	Header string `json:"header"`
+	Attr   string `json:"attr"`
+	Money  bool   `json:"money,omitempty"`
+}
+
+type linkColJSON struct {
+	LinkName string `json:"link_name"`
+	Attr     string `json:"attr"`
+}
+
+type envColJSON struct {
+	Var  string `json:"var"`
+	Attr string `json:"attr"`
+}
+
+type patternJSON struct {
+	ItemTag string         `json:"item_tag,omitempty"`
+	Fields  []patFieldJSON `json:"fields"`
+}
+
+type patFieldJSON struct {
+	Label string `json:"label"`
+	Attr  string `json:"attr"`
+	Money bool   `json:"money,omitempty"`
+}
+
+type edgeJSON struct {
+	From   string     `json:"from"`
+	To     string     `json:"to"`
+	Action actionJSON `json:"action"`
+}
+
+type actionJSON struct {
+	Kind     string     `json:"kind"` // "follow" | "follow_var" | "submit"
+	LinkName string     `json:"link_name,omitempty"`
+	EnvVar   string     `json:"env_var,omitempty"`
+	FormName string     `json:"form_name,omitempty"`
+	Fills    []fillJSON `json:"fills,omitempty"`
+}
+
+type fillJSON struct {
+	Field string `json:"field"`
+	Var   string `json:"var,omitempty"`
+	Const string `json:"const,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler for Map.
+func (m *Map) MarshalJSON() ([]byte, error) {
+	out := mapJSON{
+		Version:     FormatVersion,
+		Name:        m.Name,
+		StartURL:    m.StartURL,
+		StartURLVar: m.StartURLVar,
+		Schema:      append([]string(nil), m.Schema...),
+		Start:       string(m.Start),
+	}
+	for _, n := range m.Nodes() {
+		nj := nodeJSON{ID: string(n.ID), Title: n.Title, IsData: n.IsData}
+		if n.IsData {
+			nj.Extract = encodeExtract(n.Extract)
+		}
+		out.Nodes = append(out.Nodes, nj)
+	}
+	for _, e := range m.Edges() {
+		out.Edges = append(out.Edges, edgeJSON{
+			From: string(e.From), To: string(e.To), Action: encodeAction(e.Action),
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Map. The decoded map is
+// validated.
+func (m *Map) UnmarshalJSON(data []byte) error {
+	var in mapJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("navmap: decoding map: %w", err)
+	}
+	if in.Version != FormatVersion {
+		return fmt.Errorf("navmap: unsupported map format version %d (want %d)", in.Version, FormatVersion)
+	}
+	schema, err := relation.ParseSchema(in.Schema)
+	if err != nil {
+		return fmt.Errorf("navmap: decoding map %s: %w", in.Name, err)
+	}
+	decoded := New(in.Name, in.StartURL, schema)
+	decoded.StartURLVar = in.StartURLVar
+	for _, nj := range in.Nodes {
+		n := &Node{ID: NodeID(nj.ID), Title: nj.Title, IsData: nj.IsData}
+		if nj.Extract != nil {
+			n.Extract = decodeExtract(nj.Extract)
+		}
+		decoded.AddNode(n)
+	}
+	decoded.Start = NodeID(in.Start)
+	for _, ej := range in.Edges {
+		action, err := decodeAction(ej.Action)
+		if err != nil {
+			return err
+		}
+		decoded.AddEdge(NodeID(ej.From), action, NodeID(ej.To))
+	}
+	if err := decoded.Validate(); err != nil {
+		return err
+	}
+	*m = *decoded
+	return nil
+}
+
+func encodeExtract(s navcalc.ExtractSpec) *extractJSON {
+	out := &extractJSON{}
+	for _, c := range s.Columns {
+		out.Columns = append(out.Columns, columnJSON(c))
+	}
+	for _, lc := range s.LinkCols {
+		out.LinkCols = append(out.LinkCols, linkColJSON(lc))
+	}
+	for _, ec := range s.EnvCols {
+		out.EnvCols = append(out.EnvCols, envColJSON(ec))
+	}
+	if s.Pattern != nil {
+		p := &patternJSON{ItemTag: s.Pattern.ItemTag}
+		for _, f := range s.Pattern.Fields {
+			p.Fields = append(p.Fields, patFieldJSON(f))
+		}
+		out.Pattern = p
+	}
+	return out
+}
+
+func decodeExtract(in *extractJSON) navcalc.ExtractSpec {
+	var out navcalc.ExtractSpec
+	for _, c := range in.Columns {
+		out.Columns = append(out.Columns, navcalc.Column(c))
+	}
+	for _, lc := range in.LinkCols {
+		out.LinkCols = append(out.LinkCols, navcalc.LinkCol(lc))
+	}
+	for _, ec := range in.EnvCols {
+		out.EnvCols = append(out.EnvCols, navcalc.EnvCol(ec))
+	}
+	if in.Pattern != nil {
+		p := &wrapper.Script{ItemTag: in.Pattern.ItemTag}
+		for _, f := range in.Pattern.Fields {
+			p.Fields = append(p.Fields, wrapper.Field(f))
+		}
+		out.Pattern = p
+	}
+	return out
+}
+
+func encodeAction(a Action) actionJSON {
+	out := actionJSON{
+		LinkName: a.LinkName, EnvVar: a.EnvVar, FormName: a.FormName,
+	}
+	switch a.Kind {
+	case ActFollowLink:
+		out.Kind = "follow"
+	case ActFollowVar:
+		out.Kind = "follow_var"
+	default:
+		out.Kind = "submit"
+	}
+	for _, f := range a.Fills {
+		out.Fills = append(out.Fills, fillJSON(f))
+	}
+	return out
+}
+
+func decodeAction(in actionJSON) (Action, error) {
+	out := Action{LinkName: in.LinkName, EnvVar: in.EnvVar, FormName: in.FormName}
+	switch in.Kind {
+	case "follow":
+		out.Kind = ActFollowLink
+	case "follow_var":
+		out.Kind = ActFollowVar
+	case "submit":
+		out.Kind = ActSubmitForm
+	default:
+		return Action{}, fmt.Errorf("navmap: unknown action kind %q", in.Kind)
+	}
+	for _, f := range in.Fills {
+		out.Fills = append(out.Fills, navcalc.FieldFill(f))
+	}
+	return out, nil
+}

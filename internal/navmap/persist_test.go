@@ -1,0 +1,106 @@
+package navmap_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"webbase/internal/carmaps"
+	"webbase/internal/navmap"
+	"webbase/internal/sites"
+)
+
+// TestMapJSONRoundTrip saves and reloads every standard map, then checks
+// the reloaded map behaves identically (same derived expression results).
+func TestMapJSONRoundTrip(t *testing.T) {
+	w := sites.BuildWorld()
+	inputs := map[string]map[string]string{
+		"newsday":            {"Make": "ford", "Model": "escort"},
+		"nyTimes":            {"Make": "ford", "Model": "escort"},
+		"newYorkDaily":       {"Make": "ford"},
+		"carPoint":           {"Make": "ford", "Model": "escort"},
+		"autoWeb":            {"Make": "ford", "Model": "escort"},
+		"wwWheels":           {"Make": "ford", "Model": "escort"},
+		"autoConnect":        {"Make": "ford", "Condition": "good"},
+		"yahooCars":          {"Make": "ford", "Model": "escort"},
+		"kellys":             {"Make": "jaguar", "Model": "xj6", "Condition": "good"},
+		"carAndDriver":       {"Make": "jaguar"},
+		"carReviews":         {"Make": "honda", "Model": "civic"},
+		"carFinance":         {"ZipCode": "11201"},
+		"newsdayCarFeatures": nil, // needs a live Url; round-trip structurally only
+	}
+	for name, m := range carmaps.AllMaps() {
+		t.Run(name, func(t *testing.T) {
+			data, err := json.Marshal(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var loaded navmap.Map
+			if err := json.Unmarshal(data, &loaded); err != nil {
+				t.Fatal(err)
+			}
+			// Structural identity.
+			n1, e1 := m.Size()
+			n2, e2 := loaded.Size()
+			if n1 != n2 || e1 != e2 || m.Start != loaded.Start || m.Name != loaded.Name {
+				t.Fatalf("structure changed: (%d,%d,%s) vs (%d,%d,%s)", n1, e1, m.Start, n2, e2, loaded.Start)
+			}
+			if loaded.String() != m.String() {
+				t.Fatalf("rendering changed:\n%s\nvs\n%s", m, &loaded)
+			}
+			// Behavioural identity.
+			in := inputs[name]
+			if in == nil {
+				return
+			}
+			origExpr, err := navmap.Translate(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loadedExpr, err := navmap.Translate(&loaded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			origRel, _, err := origExpr.Execute(w.Server, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loadedRel, _, err := loadedExpr.Execute(w.Server, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if origRel.Len() != loadedRel.Len() {
+				t.Errorf("tuples: %d vs %d", origRel.Len(), loadedRel.Len())
+			}
+		})
+	}
+}
+
+func TestMapJSONErrors(t *testing.T) {
+	var m navmap.Map
+	cases := map[string]string{
+		"garbage":      `{`,
+		"bad version":  `{"version": 99, "name": "x"}`,
+		"unknown kind": `{"version":1,"name":"x","start_url":"http://x/","schema":["A"],"start":"d","nodes":[{"id":"d","is_data":true,"extract":{"columns":[{"header":"A","attr":"A"}]}}],"edges":[{"from":"d","to":"d","action":{"kind":"teleport"}}]}`,
+		"invalid map":  `{"version":1,"name":"x","schema":["A"],"start":"missing","nodes":[],"edges":[]}`,
+	}
+	for name, data := range cases {
+		if err := json.Unmarshal([]byte(data), &m); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMapJSONStableFields(t *testing.T) {
+	data, err := json.Marshal(carmaps.Newsday())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"version":1`, `"name":"newsday"`, `"kind":"submit"`,
+		`"link_name":"Car Features"`, `"form_name":"f1"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("serialized form missing %q:\n%s", want, s)
+		}
+	}
+}

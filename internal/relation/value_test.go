@@ -1,0 +1,202 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"", Null()},
+		{"  ", Null()},
+		{"42", Int(42)},
+		{"-7", Int(-7)},
+		{"3.5", Float(3.5)},
+		{"true", Bool(true)},
+		{"false", Bool(false)},
+		{"ford", String("ford")},
+		{"  escort ", String("escort")},
+		{"1993", Int(1993)},
+	}
+	for _, c := range cases {
+		if got := Parse(c.in); !got.Equal(c.want) || got.Kind() != c.want.Kind() {
+			t.Errorf("Parse(%q) = %v (%v), want %v (%v)", c.in, got, got.Kind(), c.want, c.want.Kind())
+		}
+	}
+}
+
+func TestParseMoney(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"$12,500", Int(12500)},
+		{"12,500.50", Float(12500.50)},
+		{"USD 900", Int(900)},
+		{"free", Null()},
+		{"", Null()},
+		{"$-100", Int(-100)},
+	}
+	for _, c := range cases {
+		if got := ParseMoney(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseMoney(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCompareNumericCrossKind(t *testing.T) {
+	if Int(3).Compare(Float(3.0)) != 0 {
+		t.Error("Int(3) should equal Float(3.0)")
+	}
+	if Int(2).Compare(Float(2.5)) >= 0 {
+		t.Error("Int(2) should be less than Float(2.5)")
+	}
+	if Float(10).Compare(Int(4)) <= 0 {
+		t.Error("Float(10) should be greater than Int(4)")
+	}
+}
+
+func TestCompareStringNumericCoercion(t *testing.T) {
+	// A quoted '9000' in a query must match the 9000 a table cell parsed
+	// to — everything on the Web is text.
+	if !String("9000").Equal(Int(9000)) || !Int(9000).Equal(String("9000")) {
+		t.Error("numeric string should equal the number")
+	}
+	if !String(" 3.5 ").Equal(Float(3.5)) {
+		t.Error("whitespace-padded numeric string should coerce")
+	}
+	if String("12").Compare(Int(100)) >= 0 {
+		t.Error("coerced comparison should be numeric, not lexicographic")
+	}
+	if String("escort").Equal(Int(0)) {
+		t.Error("non-numeric string must not coerce")
+	}
+}
+
+func TestCompareStringsCaseInsensitive(t *testing.T) {
+	if !String("Ford").Equal(String("ford")) {
+		t.Error("string comparison should be case-insensitive")
+	}
+	if String("audi").Compare(String("BMW")) >= 0 {
+		t.Error("audi should sort before BMW case-insensitively")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "∅"},
+		{Int(5), "5"},
+		{Float(2.5), "2.5"},
+		{Bool(true), "true"},
+		{String("x"), "x"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNull: "null", KindString: "string", KindInt: "int",
+		KindFloat: "float", KindBool: "bool", Kind(99): "kind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+// randomValue generates an arbitrary Value for property tests.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return Null()
+	case 1:
+		return Int(int64(r.Intn(2000) - 1000))
+	case 2:
+		return Float(float64(r.Intn(2000)-1000) / 4)
+	case 3:
+		return Bool(r.Intn(2) == 0)
+	default:
+		letters := []rune("abcdefgXYZ")
+		n := r.Intn(6)
+		s := make([]rune, n)
+		for i := range s {
+			s[i] = letters[r.Intn(len(letters))]
+		}
+		return String(string(s))
+	}
+}
+
+// genValue adapts randomValue to testing/quick.
+type genValue struct{ V Value }
+
+func (genValue) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(genValue{randomValue(r)})
+}
+
+// Property: Compare is reflexive, antisymmetric and transitive (a total
+// preorder) over arbitrary values.
+func TestCompareTotalOrderProperties(t *testing.T) {
+	reflexive := func(a genValue) bool { return a.V.Compare(a.V) == 0 }
+	if err := quick.Check(reflexive, nil); err != nil {
+		t.Error(err)
+	}
+	antisym := func(a, b genValue) bool {
+		return sign(a.V.Compare(b.V)) == -sign(b.V.Compare(a.V))
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Error(err)
+	}
+	transitive := func(a, b, c genValue) bool {
+		x, y, z := a.V, b.V, c.V
+		// Order the three and verify ends compare consistently.
+		if x.Compare(y) <= 0 && y.Compare(z) <= 0 {
+			return x.Compare(z) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(transitive, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: equal values have equal keys, and distinct kinds/payloads give
+// distinct keys for the common kinds.
+func TestKeyConsistentWithEqual(t *testing.T) {
+	prop := func(a, b genValue) bool {
+		if a.V.Equal(b.V) && a.V.Kind() == b.V.Kind() {
+			// Case-insensitive string equality may legitimately produce
+			// different keys ("A" vs "a"); skip that corner.
+			if a.V.Kind() == KindString && a.V.Str() != b.V.Str() {
+				return true
+			}
+			return a.V.Key() == b.V.Key()
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,136 @@
+package sites
+
+import (
+	"fmt"
+
+	"webbase/internal/web"
+)
+
+// Hosts of the newspaper classified sites.
+const (
+	NYTimesHost      = "nytimes.example"
+	NewYorkDailyHost = "nydailynews.example"
+)
+
+// NYTimes builds the New York Times classifieds site. Its shape is one
+// level flatter than Newsday's: home → link("Classifieds") → form(make
+// mandatory, model optional) → paginated data pages that carry the
+// Features column inline (the VPS relation nyTimes(Make, Model, Features,
+// Price, Contact) of Table 1).
+func NYTimes(ds *Dataset) web.Site {
+	m := web.NewMux(NYTimesHost)
+	base := "http://" + NYTimesHost
+
+	m.Handle("/", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		p := newPage("The New York Times", false).
+			heading("The New York Times").
+			link("Today's News", base+"/news").
+			link("Classifieds", base+"/classified")
+		return web.HTML(req.URL, p.done()), nil
+	}))
+	m.Handle("/news", staticPage("Today's News", "All the news that's fit to print."))
+
+	m.Handle("/classified", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		p := newPage("NYT Auto Classifieds", false).
+			heading("Automobile Classifieds").
+			form("search", base+"/cgi-bin/autosearch", "get",
+				selectField("make", Makes()...),
+				textField("model"))
+		return web.HTML(req.URL, p.done()), nil
+	}))
+
+	m.Handle("/cgi-bin/autosearch", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		mk := req.Param("make")
+		if mk == "" {
+			return web.HTML(req.URL, newPage("Error", false).text("make is required").done()), nil
+		}
+		ads := ds.ByMakeModel(mk, req.Param("model"))
+		page := atoiOr(req.Param("page"), 0)
+		start, end := pageBounds(len(ads), page)
+		cols := []string{"Make", "Model", "Year", "Features", "Price", "Contact"}
+		rows := make([][]string, 0, end-start)
+		for _, a := range ads[start:end] {
+			rows = append(rows, adRow(a, cols))
+		}
+		p := newPage("NYT Auto Search Results", false).
+			heading(fmt.Sprintf("Results %d–%d of %d", start+1, end, len(ads))).
+			table(cols, rows)
+		if end < len(ads) {
+			p.link("More", fmt.Sprintf("%s/cgi-bin/autosearch?make=%s&model=%s&page=%d",
+				base, mk, req.Param("model"), page+1))
+		}
+		return web.HTML(req.URL, p.done()), nil
+	}))
+
+	return m
+}
+
+// NewYorkDaily builds the New York Daily News classifieds site: two link
+// hops to the search form, and deliberately sloppy markup (unclosed table
+// cells) so the lenient parser's recovery is exercised on a full site.
+func NewYorkDaily(ds *Dataset) web.Site {
+	m := web.NewMux(NewYorkDailyHost)
+	base := "http://" + NewYorkDailyHost
+
+	m.Handle("/", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		p := newPage("NY Daily News", true).
+			heading("New York Daily News").
+			link("Sports Final", base+"/sports").
+			link("Auto Classifieds", base+"/autos")
+		return web.HTML(req.URL, p.done()), nil
+	}))
+	m.Handle("/sports", staticPage("Sports Final", "Yanks win."))
+
+	m.Handle("/autos", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		p := newPage("Auto Classifieds", true).
+			heading("Auto Classifieds").
+			text("Thousands of cars in the five boroughs.").
+			link("Search Used Cars", base+"/autos/search")
+		return web.HTML(req.URL, p.done()), nil
+	}))
+
+	m.Handle("/autos/search", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		p := newPage("Used Car Search", true).
+			form("carsearch", base+"/cgi-bin/cars.cgi", "post",
+				selectField("make", Makes()...))
+		return web.HTML(req.URL, p.done()), nil
+	}))
+
+	m.Handle("/cgi-bin/cars.cgi", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		mk := req.Param("make")
+		if mk == "" {
+			return web.HTML(req.URL, newPage("Error", true).text("make is required").done()), nil
+		}
+		ads := ds.ByMake(mk)
+		page := atoiOr(req.Param("page"), 0)
+		start, end := pageBounds(len(ads), page)
+		cols := []string{"Make", "Model", "Year", "Price", "Contact"}
+		rows := make([][]string, 0, end-start)
+		for _, a := range ads[start:end] {
+			rows = append(rows, adRow(a, cols))
+		}
+		p := newPage("Used Cars", true).
+			heading(fmt.Sprintf("Used cars: %s", titleCase(mk))).
+			table(cols, rows)
+		if end < len(ads) {
+			p.link("More", fmt.Sprintf("%s/cgi-bin/cars.cgi?make=%s&page=%d", base, mk, page+1))
+		}
+		return web.HTML(req.URL, p.done()), nil
+	}))
+
+	return m
+}
+
+// pageBounds clamps the [start, end) slice bounds for page n of a result
+// list paginated at AdPageSize.
+func pageBounds(total, page int) (start, end int) {
+	start = page * AdPageSize
+	if start > total {
+		start = total
+	}
+	end = start + AdPageSize
+	if end > total {
+		end = total
+	}
+	return start, end
+}

@@ -1,0 +1,258 @@
+package sites
+
+import (
+	"fmt"
+
+	"webbase/internal/web"
+)
+
+// Hosts of the dealer sites.
+const (
+	CarPointHost    = "carpoint.example"
+	AutoWebHost     = "autoweb.example"
+	WWWheelsHost    = "wwwheels.example"
+	AutoConnectHost = "autoconnect.example"
+	YahooCarsHost   = "yahoocars.example"
+)
+
+// dealerCols is the column set of the dealer data pages: the VPS relations
+// carPoint/autoWeb(Car, Price, Features, ZipCode, Contact) of Table 1.
+var dealerCols = []string{"Make", "Model", "Year", "Price", "Features", "ZipCode", "Contact"}
+
+// CarPoint builds the CarPoint dealer site: a single search form taking
+// make (mandatory), model and zipcode (optional) straight on the home
+// page, answering with one paginated listing.
+func CarPoint(ds *Dataset) web.Site {
+	m := web.NewMux(CarPointHost)
+	base := "http://" + CarPointHost
+
+	m.Handle("/", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		p := newPage("CarPoint", false).
+			heading("CarPoint Dealer Network").
+			form("finder", base+"/cgi-bin/find", "get",
+				selectField("make", Makes()...),
+				textField("model"),
+				textField("zipcode"))
+		return web.HTML(req.URL, p.done()), nil
+	}))
+
+	m.Handle("/cgi-bin/find", dealerSearch(ds, base+"/cgi-bin/find", false))
+	return m
+}
+
+// AutoWeb builds the AutoWeb dealer site: a two-form drill-down — first
+// pick the make, then on a second dynamically generated page pick the
+// model (the second form is itself produced by a CGI script, one of the
+// difficulties the paper's introduction highlights).
+func AutoWeb(ds *Dataset) web.Site {
+	m := web.NewMux(AutoWebHost)
+	base := "http://" + AutoWebHost
+
+	m.Handle("/", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		p := newPage("AutoWeb", false).
+			heading("AutoWeb").
+			link("Used Car Search", base+"/used")
+		return web.HTML(req.URL, p.done()), nil
+	}))
+
+	m.Handle("/used", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		p := newPage("AutoWeb Used Cars", false).
+			form("pickmake", base+"/cgi-bin/models", "post",
+				selectField("make", Makes()...))
+		return web.HTML(req.URL, p.done()), nil
+	}))
+
+	m.Handle("/cgi-bin/models", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		mk := req.Param("make")
+		if mk == "" {
+			return web.HTML(req.URL, newPage("Error", false).text("make is required").done()), nil
+		}
+		// Dynamically generated second form whose model domain depends on
+		// the previous input.
+		p := newPage("AutoWeb: Pick a Model", false).
+			heading(fmt.Sprintf("Models of %s in stock", titleCase(mk))).
+			form("pickmodel", base+"/cgi-bin/stock", "post",
+				hiddenField("make", mk),
+				selectField("model", ds.ModelsOf(mk)...))
+		return web.HTML(req.URL, p.done()), nil
+	}))
+
+	m.Handle("/cgi-bin/stock", dealerSearch(ds, base+"/cgi-bin/stock", false))
+	return m
+}
+
+// WWWheels builds the WWWheels site: the simplest dealer — one form on the
+// home page and a single unpaginated (and sloppily marked-up) data page.
+func WWWheels(ds *Dataset) web.Site {
+	m := web.NewMux(WWWheelsHost)
+	base := "http://" + WWWheelsHost
+
+	m.Handle("/", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		p := newPage("WWWheels", true).
+			heading("WWWheels — wheels on the World Wide Web").
+			form("q", base+"/cgi-bin/q", "get",
+				selectField("make", Makes()...),
+				textField("model"))
+		return web.HTML(req.URL, p.done()), nil
+	}))
+
+	m.Handle("/cgi-bin/q", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		mk := req.Param("make")
+		if mk == "" {
+			return web.HTML(req.URL, newPage("Error", true).text("make is required").done()), nil
+		}
+		ads := ds.ByMakeModel(mk, req.Param("model"))
+		rows := make([][]string, 0, len(ads))
+		for _, a := range ads {
+			rows = append(rows, adRow(a, dealerCols))
+		}
+		// WWWheels wraps its results in a layout table (sidebar + content),
+		// the typical 1990s construction that forces extractors to keep
+		// nested tables apart.
+		p := newPage("WWWheels Results", true).
+			heading(fmt.Sprintf("%d cars found", len(ads))).
+			layoutOpen().
+			table(dealerCols, rows).
+			layoutClose()
+		return web.HTML(req.URL, p.done()), nil
+	}))
+	return m
+}
+
+// AutoConnect builds the AutoConnect site: its search form uses a radio
+// group for condition — the widget from which the map builder infers a
+// mandatory attribute (Section 7).
+func AutoConnect(ds *Dataset) web.Site {
+	m := web.NewMux(AutoConnectHost)
+	base := "http://" + AutoConnectHost
+
+	m.Handle("/", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		p := newPage("AutoConnect", false).
+			heading("AutoConnect").
+			link("Find a Car", base+"/find")
+		return web.HTML(req.URL, p.done()), nil
+	}))
+
+	m.Handle("/find", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		p := newPage("AutoConnect Finder", false).
+			form("finder", base+"/cgi-bin/inv", "post",
+				selectField("make", Makes()...),
+				textField("model"),
+				radioField("condition", "excellent", "good", "fair"))
+		return web.HTML(req.URL, p.done()), nil
+	}))
+
+	m.Handle("/cgi-bin/inv", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		mk := req.Param("make")
+		cond := req.Param("condition")
+		if mk == "" || cond == "" {
+			return web.HTML(req.URL, newPage("Error", false).text("make and condition are required").done()), nil
+		}
+		var ads []Ad
+		for _, a := range ds.ByMakeModel(mk, req.Param("model")) {
+			if a.Condition == cond {
+				ads = append(ads, a)
+			}
+		}
+		page := atoiOr(req.Param("page"), 0)
+		start, end := pageBounds(len(ads), page)
+		cols := []string{"Make", "Model", "Year", "Condition", "Price", "ZipCode", "Contact"}
+		rows := make([][]string, 0, end-start)
+		for _, a := range ads[start:end] {
+			rows = append(rows, adRow(a, cols))
+		}
+		p := newPage("AutoConnect Inventory", false).
+			heading(fmt.Sprintf("Inventory %d–%d of %d", start+1, end, len(ads))).
+			table(cols, rows)
+		if end < len(ads) {
+			p.link("More", fmt.Sprintf("%s/cgi-bin/inv?make=%s&model=%s&condition=%s&page=%d",
+				base, mk, req.Param("model"), cond, page+1))
+		}
+		return web.HTML(req.URL, p.done()), nil
+	}))
+	return m
+}
+
+// YahooCars builds the Yahoo! Cars directory site: no forms at all — makes
+// and models are "attributes implicitly defined through a set of links"
+// (Section 7), so navigation picks links by name rather than filling
+// fields.
+func YahooCars(ds *Dataset) web.Site {
+	m := web.NewMux(YahooCarsHost)
+	base := "http://" + YahooCarsHost
+
+	m.Handle("/", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		p := newPage("Yahoo! Cars", false).heading("Browse by Make")
+		for _, mk := range Makes() {
+			p.link(mk, fmt.Sprintf("%s/make?make=%s", base, mk))
+		}
+		return web.HTML(req.URL, p.done()), nil
+	}))
+
+	m.Handle("/make", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		mk := req.Param("make")
+		models := ds.ModelsOf(mk)
+		if len(models) == 0 {
+			return web.NotFound(req.URL), nil
+		}
+		p := newPage("Yahoo! Cars: "+titleCase(mk), false).heading("Browse by Model")
+		for _, md := range models {
+			p.link(md, fmt.Sprintf("%s/listing?make=%s&model=%s", base, mk, md))
+		}
+		return web.HTML(req.URL, p.done()), nil
+	}))
+
+	m.Handle("/listing", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		ads := ds.ByMakeModel(req.Param("make"), req.Param("model"))
+		page := atoiOr(req.Param("page"), 0)
+		start, end := pageBounds(len(ads), page)
+		rows := make([][]string, 0, end-start)
+		for _, a := range ads[start:end] {
+			rows = append(rows, adRow(a, dealerCols))
+		}
+		p := newPage("Yahoo! Cars Listing", false).
+			heading(fmt.Sprintf("Listings %d–%d of %d", start+1, end, len(ads))).
+			table(dealerCols, rows)
+		if end < len(ads) {
+			p.link("More", fmt.Sprintf("%s/listing?make=%s&model=%s&page=%d",
+				base, req.Param("make"), req.Param("model"), page+1))
+		}
+		return web.HTML(req.URL, p.done()), nil
+	}))
+	return m
+}
+
+// dealerSearch returns the shared CGI handler of the simple dealer sites:
+// filter by make/model (and zipcode when given) and paginate.
+func dealerSearch(ds *Dataset, action string, sloppy bool) web.FetcherFunc {
+	return func(req *web.Request) (*web.Response, error) {
+		mk := req.Param("make")
+		if mk == "" {
+			return web.HTML(req.URL, newPage("Error", sloppy).text("make is required").done()), nil
+		}
+		ads := ds.ByMakeModel(mk, req.Param("model"))
+		if zip := req.Param("zipcode"); zip != "" {
+			var kept []Ad
+			for _, a := range ads {
+				if a.Zip == zip {
+					kept = append(kept, a)
+				}
+			}
+			ads = kept
+		}
+		page := atoiOr(req.Param("page"), 0)
+		start, end := pageBounds(len(ads), page)
+		rows := make([][]string, 0, end-start)
+		for _, a := range ads[start:end] {
+			rows = append(rows, adRow(a, dealerCols))
+		}
+		p := newPage("Dealer Search Results", sloppy).
+			heading(fmt.Sprintf("Results %d–%d of %d", start+1, end, len(ads))).
+			table(dealerCols, rows)
+		if end < len(ads) {
+			p.link("More", fmt.Sprintf("%s?make=%s&model=%s&zipcode=%s&page=%d",
+				action, mk, req.Param("model"), req.Param("zipcode"), page+1))
+		}
+		return web.HTML(req.URL, p.done()), nil
+	}
+}

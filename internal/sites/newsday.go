@@ -1,0 +1,198 @@
+package sites
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"webbase/internal/web"
+)
+
+// NewsdayHost is the virtual host of the Newsday classifieds site.
+const NewsdayHost = "newsday.example"
+
+// AdPageSize is the number of ads each data page carries before a "More"
+// link is emitted. Small so that the "repeatedly hitting the More button"
+// iteration of Figure 2 is exercised.
+const AdPageSize = 5
+
+// TooManyMatches is the result count above which Newsday interposes the
+// second form (f2, asking for model and features) instead of showing data
+// — the if-then-else branch of Figure 2.
+const TooManyMatches = 2 * AdPageSize
+
+// Newsday builds the Newsday classifieds site: the site whose navigation
+// map is Figure 2 of the paper. Its shape:
+//
+//	/                 home; links l1, auto, l3, l4
+//	/auto             UsedCarPg; form f1(make) → POST /cgi-bin/nclassy
+//	/cgi-bin/nclassy  carPg: either a data page (table + More link + per-ad
+//	                  "Car Features" links) or, when too many ads match,
+//	                  a page with form f2(model, featrs)
+//	/features         newsdayCarFeatures data page for one ad
+func Newsday(ds *Dataset) web.Site {
+	m := web.NewMux(NewsdayHost)
+	base := "http://" + NewsdayHost
+
+	m.Handle("/", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		p := newPage("Newsday Online", false).
+			heading("Newsday").
+			link("Long Island News", base+"/news").
+			link("Automobiles", base+"/auto").
+			link("Collectible Cars", base+"/collectibles").
+			link("Sport Utility", base+"/suv")
+		return web.HTML(req.URL, p.done()), nil
+	}))
+
+	m.Handle("/news", staticPage("Long Island News", "Nothing to see here.")) // filler section
+	m.Handle("/collectibles", carListPage("Collectible Cars", ds, func(a Ad) bool { return a.Year < 1990 }))
+	m.Handle("/suv", carListPage("Sport Utility", ds, func(a Ad) bool { return a.Model == "explorer" || a.Model == "suburban" }))
+
+	m.Handle("/auto", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		p := newPage("Newsday Used Car Classifieds", false).
+			heading("Used Car Classifieds").
+			text("Select a make to search Long Island and New York City ads.").
+			form("f1", base+"/cgi-bin/nclassy", "post",
+				selectField("make", Makes()...))
+		return web.HTML(req.URL, p.done()), nil
+	}))
+
+	m.Handle("/cgi-bin/nclassy", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		mk := req.Param("make")
+		model := req.Param("model")
+		if mk == "" {
+			return web.HTML(req.URL, newPage("Error", false).text("make is required").done()), nil
+		}
+		ads := ds.ByMakeModel(mk, model)
+		// Figure 2's branch: too many matches without a model → ask the
+		// user to narrow via form f2 (model and desired features). The
+		// hidden refined flag marks the second round: resubmitting f2
+		// without picking a model means "all models" and yields data —
+		// "the length of the sequence is not fixed; it is usually one or
+		// two" (Section 4).
+		if model == "" && req.Param("refined") == "" && len(ads) > TooManyMatches {
+			p := newPage("Newsday: Narrow Your Search", false).
+				heading(fmt.Sprintf("%d ads match %q — narrow your search", len(ads), mk)).
+				form("f2", base+"/cgi-bin/nclassy", "post",
+					hiddenField("make", mk),
+					hiddenField("refined", "1"),
+					selectField("model", ds.ModelsOf(mk)...),
+					textField("featrs"))
+			return web.HTML(req.URL, p.done()), nil
+		}
+		if featrs := req.Param("featrs"); featrs != "" {
+			ads = filterFeatures(ads, featrs)
+		}
+		page := atoiOr(req.Param("page"), 0)
+		return web.HTML(req.URL, newsdayDataPage(base, mk, model, req.Param("featrs"), ads, page)), nil
+	}))
+
+	m.Handle("/features", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		id := atoiOr(req.Param("id"), -1)
+		ad := ds.Find(id)
+		if ad == nil {
+			return web.NotFound(req.URL), nil
+		}
+		p := newPage("Car Features", false).
+			heading(fmt.Sprintf("%s %s (%d)", titleCase(ad.Make), titleCase(ad.Model), ad.Year)).
+			table([]string{"Features", "Picture"}, [][]string{{ad.Features, ad.Picture}})
+		return web.HTML(req.URL, p.done()), nil
+	}))
+
+	return m
+}
+
+// newsdayDataPage renders one page of ads with per-ad "Car Features" links
+// and a "More" link while further pages remain (the link(more) self-loop of
+// Figure 2).
+func newsdayDataPage(base, mk, model, featrs string, ads []Ad, page int) string {
+	start := page * AdPageSize
+	end := start + AdPageSize
+	if start > len(ads) {
+		start = len(ads)
+	}
+	if end > len(ads) {
+		end = len(ads)
+	}
+	cols := []string{"Make", "Model", "Year", "Price", "Contact"}
+	rows := make([][]string, 0, end-start)
+	hrefs := make([]string, 0, end-start)
+	for _, a := range ads[start:end] {
+		rows = append(rows, adRow(a, cols))
+		hrefs = append(hrefs, fmt.Sprintf("%s/features?id=%d", base, a.ID))
+	}
+	p := newPage("Newsday Used Car Listings", false).
+		heading(fmt.Sprintf("Listings %d–%d of %d", start+1, end, len(ads))).
+		tableLinked(cols, rows, "Car Features", hrefs)
+	if end < len(ads) {
+		p.link("More", fmt.Sprintf("%s/cgi-bin/nclassy?make=%s&model=%s&featrs=%s&refined=1&page=%d",
+			base, mk, model, featrs, page+1))
+	}
+	return p.done()
+}
+
+// filterFeatures keeps ads whose feature list mentions the requested text.
+func filterFeatures(ads []Ad, featrs string) []Ad {
+	var out []Ad
+	for _, a := range ads {
+		if containsFold(a.Features, featrs) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func containsFold(haystack, needle string) bool {
+	h, n := []byte(haystack), []byte(needle)
+	lower := func(b byte) byte {
+		if b >= 'A' && b <= 'Z' {
+			return b + 'a' - 'A'
+		}
+		return b
+	}
+	if len(n) == 0 {
+		return true
+	}
+outer:
+	for i := 0; i+len(n) <= len(h); i++ {
+		for j := range n {
+			if lower(h[i+j]) != lower(n[j]) {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func atoiOr(s string, def int) int {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+// staticPage returns a handler serving a fixed page.
+func staticPage(title, body string) web.FetcherFunc {
+	return func(req *web.Request) (*web.Response, error) {
+		return web.HTML(req.URL, newPage(title, false).heading(title).text(body).done()), nil
+	}
+}
+
+// carListPage renders a simple unsearchable listing of the ads passing
+// keep, used for the filler sections of the classified sites.
+func carListPage(title string, ds *Dataset, keep func(Ad) bool) web.FetcherFunc {
+	return func(req *web.Request) (*web.Response, error) {
+		cols := []string{"Make", "Model", "Year", "Price"}
+		var rows [][]string
+		for _, a := range ds.Ads {
+			if keep(a) {
+				rows = append(rows, adRow(a, cols))
+			}
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i][0] < rows[j][0] })
+		p := newPage(title, false).heading(title).table(cols, rows)
+		return web.HTML(req.URL, p.done()), nil
+	}
+}

@@ -1,0 +1,187 @@
+package sites
+
+import (
+	"fmt"
+
+	"webbase/internal/web"
+)
+
+// Hosts of the reference sites (blue book, safety, reliability, finance).
+const (
+	KellysHost       = "kbb.example"
+	CarAndDriverHost = "caranddriver.example"
+	CarReviewsHost   = "carreviews.example"
+	CarFinanceHost   = "carfinance.example"
+)
+
+// Kellys builds Kelly's Blue Book: form(make, model, condition — the
+// mandatory set of Table 3; year optional). With a year the answer is a
+// single price row; without one it is a row per model year, matching how
+// the real site listed prices by year.
+func Kellys() web.Site {
+	m := web.NewMux(KellysHost)
+	base := "http://" + KellysHost
+
+	m.Handle("/", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		p := newPage("Kelly's Blue Book", false).
+			heading("Kelly's Blue Book — Used Car Values").
+			link("Price a Used Car", base+"/usedcar")
+		return web.HTML(req.URL, p.done()), nil
+	}))
+
+	m.Handle("/usedcar", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		p := newPage("Price a Used Car", false).
+			form("pricer", base+"/cgi-bin/price", "post",
+				selectField("make", Makes()...),
+				textField("model"),
+				textField("year"),
+				radioField("condition", "excellent", "good", "fair"))
+		return web.HTML(req.URL, p.done()), nil
+	}))
+
+	m.Handle("/cgi-bin/price", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		mk, model, cond := req.Param("make"), req.Param("model"), req.Param("condition")
+		if mk == "" || model == "" || cond == "" {
+			return web.HTML(req.URL, newPage("Error", false).
+				text("make, model and condition are required").done()), nil
+		}
+		cols := []string{"Make", "Model", "Year", "Condition", "BBPrice"}
+		var rows [][]string
+		addRow := func(year int) {
+			bb := BlueBook(mk, model, year, cond)
+			if bb > 0 {
+				rows = append(rows, []string{mk, model, fmt.Sprintf("%d", year), cond, fmt.Sprintf("$%d", bb)})
+			}
+		}
+		if y := atoiOr(req.Param("year"), 0); y > 0 {
+			addRow(y)
+		} else {
+			for y := 1988; y <= 1998; y++ {
+				addRow(y)
+			}
+		}
+		p := newPage("Blue Book Value", false).
+			heading(fmt.Sprintf("Blue Book: %s %s (%s)", titleCase(mk), titleCase(model), cond)).
+			table(cols, rows)
+		return web.HTML(req.URL, p.done()), nil
+	}))
+	return m
+}
+
+// CarAndDriver builds the Car and Driver safety-ratings site: form(make) →
+// table of (Make, Model, Safety) — the VPS relation carAndDriver(Car,
+// Safety) of Table 1.
+func CarAndDriver() web.Site {
+	m := web.NewMux(CarAndDriverHost)
+	base := "http://" + CarAndDriverHost
+
+	m.Handle("/", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		p := newPage("Car and Driver", false).
+			heading("Car and Driver").
+			link("Safety Ratings", base+"/safety")
+		return web.HTML(req.URL, p.done()), nil
+	}))
+
+	m.Handle("/safety", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		p := newPage("Safety Ratings", false).
+			form("safety", base+"/cgi-bin/safety", "get",
+				selectField("make", Makes()...))
+		return web.HTML(req.URL, p.done()), nil
+	}))
+
+	m.Handle("/cgi-bin/safety", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		mk := req.Param("make")
+		models, ok := Catalog[mk]
+		if !ok {
+			return web.HTML(req.URL, newPage("Error", false).text("unknown make").done()), nil
+		}
+		cols := []string{"Make", "Model", "Safety"}
+		rows := make([][]string, 0, len(models))
+		for _, md := range models {
+			rows = append(rows, []string{mk, md, SafetyRating(mk, md)})
+		}
+		p := newPage("Safety Ratings: "+titleCase(mk), false).table(cols, rows)
+		return web.HTML(req.URL, p.done()), nil
+	}))
+	return m
+}
+
+// CarReviews builds the CarReviews site: reliability scores per model,
+// reached through a per-make link directory and a per-model review page —
+// the deepest navigation among the reference sites, which is why it shows
+// one of the larger page counts in the Section 7 timing table.
+func CarReviews() web.Site {
+	m := web.NewMux(CarReviewsHost)
+	base := "http://" + CarReviewsHost
+
+	m.Handle("/", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		p := newPage("CarReviews", false).heading("Reviews by Make")
+		for _, mk := range Makes() {
+			p.link(mk, fmt.Sprintf("%s/reviews?make=%s", base, mk))
+		}
+		return web.HTML(req.URL, p.done()), nil
+	}))
+
+	m.Handle("/reviews", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		mk := req.Param("make")
+		models, ok := Catalog[mk]
+		if !ok {
+			return web.NotFound(req.URL), nil
+		}
+		p := newPage("Reviews: "+titleCase(mk), false).heading("Model Reviews")
+		for _, md := range models {
+			p.link(md, fmt.Sprintf("%s/review?make=%s&model=%s", base, mk, md))
+		}
+		return web.HTML(req.URL, p.done()), nil
+	}))
+
+	m.Handle("/review", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		mk, md := req.Param("make"), req.Param("model")
+		p := newPage(fmt.Sprintf("Review: %s %s", titleCase(mk), titleCase(md)), false).
+			heading(fmt.Sprintf("%s %s", titleCase(mk), titleCase(md))).
+			table([]string{"Make", "Model", "Reliability"},
+				[][]string{{mk, md, fmt.Sprintf("%d", ReliabilityRating(mk, md))}})
+		return web.HTML(req.URL, p.done()), nil
+	}))
+	return m
+}
+
+// CarFinance builds the CarFinance rate site: form(zipcode mandatory,
+// duration) → rate table — the VPS relation carFinance(Car, ZipCode,
+// Duration, Rate).
+func CarFinance() web.Site {
+	m := web.NewMux(CarFinanceHost)
+	base := "http://" + CarFinanceHost
+
+	m.Handle("/", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		p := newPage("CarFinance", false).
+			heading("CarFinance.example — used car loans").
+			form("rates", base+"/cgi-bin/rates", "get",
+				textField("zipcode"),
+				selectField("duration", "24", "36", "48", "60"))
+		return web.HTML(req.URL, p.done()), nil
+	}))
+
+	m.Handle("/cgi-bin/rates", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		zip := req.Param("zipcode")
+		if zip == "" {
+			return web.HTML(req.URL, newPage("Error", false).text("zipcode is required").done()), nil
+		}
+		cols := []string{"ZipCode", "Duration", "Rate"}
+		var rows [][]string
+		addRow := func(months int) {
+			rows = append(rows, []string{zip, fmt.Sprintf("%d", months),
+				fmt.Sprintf("%.2f", FinanceRate(zip, months))})
+		}
+		if d := atoiOr(req.Param("duration"), 0); d > 0 {
+			addRow(d)
+		} else {
+			for _, d := range []int{24, 36, 48, 60} {
+				addRow(d)
+			}
+		}
+		p := newPage("Loan Rates", false).table(cols, rows)
+		return web.HTML(req.URL, p.done()), nil
+	}))
+	return m
+}

@@ -1,0 +1,74 @@
+package sites
+
+import "webbase/internal/web"
+
+// SiteInfo describes one simulated site for the experiment harness.
+type SiteInfo struct {
+	Name string // display name, as in the Section 7 timing table
+	Host string
+}
+
+// All lists the simulated sites in the order of the Section 7 timing
+// table, followed by the Table 1 sites that the timing table omits.
+var All = []SiteInfo{
+	{"AutoWeb", AutoWebHost},
+	{"WWWheels", WWWheelsHost},
+	{"NYTimes", NYTimesHost},
+	{"CarReviews", CarReviewsHost},
+	{"NewYorkDaily", NewYorkDailyHost},
+	{"CarAndDriver", CarAndDriverHost},
+	{"AutoConnect", AutoConnectHost},
+	{"Newsday", NewsdayHost},
+	{"YahooCars", YahooCarsHost},
+	{"Kellys", KellysHost},
+	{"CarPoint", CarPointHost},
+	{"CarFinance", CarFinanceHost},
+}
+
+// World is the assembled simulated Web together with the ground-truth
+// datasets backing each classifieds/dealer site, which tests and the
+// experiment harness use as oracles.
+type World struct {
+	Server   *web.Server
+	Datasets map[string]*Dataset // host → backing dataset (ad-carrying sites only)
+}
+
+// Seeds and sizes of the per-site datasets. Sizes differ so that the
+// page-count column of the timing table varies by site the way the
+// paper's does.
+var datasetSpec = []struct {
+	host string
+	seed int64
+	n    int
+}{
+	{NewsdayHost, 1, 400},
+	{NYTimesHost, 2, 350},
+	{NewYorkDailyHost, 3, 300},
+	{CarPointHost, 4, 250},
+	{AutoWebHost, 5, 300},
+	{WWWheelsHost, 6, 150},
+	{AutoConnectHost, 7, 280},
+	{YahooCarsHost, 8, 320},
+}
+
+// BuildWorld assembles the whole simulated Web with its standard datasets.
+// The result is deterministic across runs.
+func BuildWorld() *World {
+	w := &World{Server: web.NewServer(), Datasets: make(map[string]*Dataset)}
+	for _, spec := range datasetSpec {
+		w.Datasets[spec.host] = NewDataset(spec.seed, spec.n)
+	}
+	w.Server.Register(Newsday(w.Datasets[NewsdayHost]))
+	w.Server.Register(NYTimes(w.Datasets[NYTimesHost]))
+	w.Server.Register(NewYorkDaily(w.Datasets[NewYorkDailyHost]))
+	w.Server.Register(CarPoint(w.Datasets[CarPointHost]))
+	w.Server.Register(AutoWeb(w.Datasets[AutoWebHost]))
+	w.Server.Register(WWWheels(w.Datasets[WWWheelsHost]))
+	w.Server.Register(AutoConnect(w.Datasets[AutoConnectHost]))
+	w.Server.Register(YahooCars(w.Datasets[YahooCarsHost]))
+	w.Server.Register(Kellys())
+	w.Server.Register(CarAndDriver())
+	w.Server.Register(CarReviews())
+	w.Server.Register(CarFinance())
+	return w
+}

@@ -1,0 +1,232 @@
+package sites
+
+import (
+	"fmt"
+	"strings"
+
+	"webbase/internal/htmlkit"
+)
+
+// pageBuilder assembles era-style HTML. Some sites deliberately emit the
+// sloppy markup of the period (unclosed <td>/<tr>, uppercase tags, missing
+// quotes) so that the lenient parser's recovery is exercised on every run.
+type pageBuilder struct {
+	sb     strings.Builder
+	sloppy bool
+}
+
+func newPage(title string, sloppy bool) *pageBuilder {
+	p := &pageBuilder{sloppy: sloppy}
+	p.sb.WriteString("<html><head><title>")
+	p.sb.WriteString(htmlkit.EscapeText(title))
+	p.sb.WriteString("</title></head><body>\n")
+	return p
+}
+
+func (p *pageBuilder) text(s string) *pageBuilder {
+	p.sb.WriteString("<p>")
+	p.sb.WriteString(htmlkit.EscapeText(s))
+	if !p.sloppy {
+		p.sb.WriteString("</p>")
+	}
+	p.sb.WriteString("\n")
+	return p
+}
+
+func (p *pageBuilder) heading(s string) *pageBuilder {
+	p.sb.WriteString("<h1>")
+	p.sb.WriteString(htmlkit.EscapeText(s))
+	p.sb.WriteString("</h1>\n")
+	return p
+}
+
+func (p *pageBuilder) link(name, href string) *pageBuilder {
+	fmt.Fprintf(&p.sb, `<a href="%s">%s</a><br>`, htmlkit.EscapeAttr(href), htmlkit.EscapeText(name))
+	p.sb.WriteString("\n")
+	return p
+}
+
+// formField describes one field emitted by form().
+type formField struct {
+	name    string
+	widget  htmlkit.WidgetType
+	options []string // select/radio domains
+	def     string
+	hidden  string // value for hidden fields
+}
+
+func textField(name string) formField {
+	return formField{name: name, widget: htmlkit.WidgetText}
+}
+
+func selectField(name string, options ...string) formField {
+	return formField{name: name, widget: htmlkit.WidgetSelect, options: options}
+}
+
+func radioField(name string, options ...string) formField {
+	return formField{name: name, widget: htmlkit.WidgetRadio, options: options}
+}
+
+func hiddenField(name, value string) formField {
+	return formField{name: name, widget: htmlkit.WidgetHidden, hidden: value}
+}
+
+func (p *pageBuilder) form(name, action, method string, fields ...formField) *pageBuilder {
+	fmt.Fprintf(&p.sb, `<form name="%s" action="%s" method="%s">`,
+		htmlkit.EscapeAttr(name), htmlkit.EscapeAttr(action), method)
+	p.sb.WriteString("\n")
+	for _, f := range fields {
+		switch f.widget {
+		case htmlkit.WidgetSelect:
+			fmt.Fprintf(&p.sb, `%s: <select name="%s">`, htmlkit.EscapeText(f.name), htmlkit.EscapeAttr(f.name))
+			for _, o := range f.options {
+				sel := ""
+				if o == f.def {
+					sel = " selected"
+				}
+				fmt.Fprintf(&p.sb, `<option value="%s"%s>%s</option>`, htmlkit.EscapeAttr(o), sel, htmlkit.EscapeText(titleCase(o)))
+			}
+			p.sb.WriteString("</select><br>\n")
+		case htmlkit.WidgetRadio:
+			fmt.Fprintf(&p.sb, "%s: ", htmlkit.EscapeText(f.name))
+			for _, o := range f.options {
+				chk := ""
+				if o == f.def {
+					chk = " checked"
+				}
+				fmt.Fprintf(&p.sb, `<input type="radio" name="%s" value="%s"%s>%s `,
+					htmlkit.EscapeAttr(f.name), htmlkit.EscapeAttr(o), chk, htmlkit.EscapeText(o))
+			}
+			p.sb.WriteString("<br>\n")
+		case htmlkit.WidgetHidden:
+			fmt.Fprintf(&p.sb, `<input type="hidden" name="%s" value="%s">`,
+				htmlkit.EscapeAttr(f.name), htmlkit.EscapeAttr(f.hidden))
+			p.sb.WriteString("\n")
+		default:
+			fmt.Fprintf(&p.sb, `%s: <input type="text" name="%s" value="%s"><br>`,
+				htmlkit.EscapeText(f.name), htmlkit.EscapeAttr(f.name), htmlkit.EscapeAttr(f.def))
+			p.sb.WriteString("\n")
+		}
+	}
+	p.sb.WriteString(`<input type="submit" value="Search"></form>` + "\n")
+	return p
+}
+
+// table renders rows under a header. In sloppy mode the cells are left
+// unclosed, as on many real sites of the era; the lenient parser repairs
+// them.
+func (p *pageBuilder) table(header []string, rows [][]string) *pageBuilder {
+	p.sb.WriteString("<table border=1>\n<tr>")
+	for _, h := range header {
+		fmt.Fprintf(&p.sb, "<th>%s</th>", htmlkit.EscapeText(h))
+	}
+	p.sb.WriteString("</tr>\n")
+	for _, row := range rows {
+		p.sb.WriteString("<tr>")
+		for _, c := range row {
+			if p.sloppy {
+				fmt.Fprintf(&p.sb, "<td>%s", htmlkit.EscapeText(c))
+			} else {
+				fmt.Fprintf(&p.sb, "<td>%s</td>", htmlkit.EscapeText(c))
+			}
+		}
+		if !p.sloppy {
+			p.sb.WriteString("</tr>")
+		}
+		p.sb.WriteString("\n")
+	}
+	p.sb.WriteString("</table>\n")
+	return p
+}
+
+// tableLinked renders rows like table but appends a final cell per row
+// containing a named link (e.g. the per-ad "Car Features" link at Newsday).
+func (p *pageBuilder) tableLinked(header []string, rows [][]string, linkName string, hrefs []string) *pageBuilder {
+	p.sb.WriteString("<table border=1>\n<tr>")
+	for _, h := range header {
+		fmt.Fprintf(&p.sb, "<th>%s</th>", htmlkit.EscapeText(h))
+	}
+	fmt.Fprintf(&p.sb, "<th>%s</th>", htmlkit.EscapeText(linkName))
+	p.sb.WriteString("</tr>\n")
+	for i, row := range rows {
+		p.sb.WriteString("<tr>")
+		for _, c := range row {
+			fmt.Fprintf(&p.sb, "<td>%s</td>", htmlkit.EscapeText(c))
+		}
+		fmt.Fprintf(&p.sb, `<td><a href="%s">%s</a></td></tr>`, htmlkit.EscapeAttr(hrefs[i]), htmlkit.EscapeText(linkName))
+		p.sb.WriteString("\n")
+	}
+	p.sb.WriteString("</table>\n")
+	return p
+}
+
+// layoutOpen starts a 1990s layout table (sidebar cell + content cell);
+// layoutClose ends it. Content written between the two lands inside the
+// layout cell, so parsers must not confuse layout rows with data rows.
+func (p *pageBuilder) layoutOpen() *pageBuilder {
+	p.sb.WriteString(`<table width="100%"><tr><td width="20%">` +
+		`<a href="/specials">Specials</a><br><a href="/financing">Financing</a>` +
+		`</td><td>` + "\n")
+	return p
+}
+
+func (p *pageBuilder) layoutClose() *pageBuilder {
+	p.sb.WriteString("</td></tr></table>\n")
+	return p
+}
+
+// titleCase upper-cases the first letter of each word.
+func titleCase(s string) string {
+	words := strings.Fields(s)
+	for i, w := range words {
+		if w != "" {
+			words[i] = strings.ToUpper(w[:1]) + w[1:]
+		}
+	}
+	return strings.Join(words, " ")
+}
+
+// footerLinks is the boilerplate navigation every page of the era carried.
+// It matters for the map-builder statistics: the paper's "85 objects with
+// over 600 attributes" for Newsday's map came overwhelmingly from such
+// automatically extracted page furniture.
+var footerLinks = []struct{ name, path string }{
+	{"About Us", "/about"}, {"Help", "/help"}, {"Advertise", "/advertise"},
+	{"Feedback", "/feedback"}, {"Copyright Notice", "/copyright"}, {"Site Index", "/siteindex"},
+}
+
+func (p *pageBuilder) done() string {
+	p.sb.WriteString("<hr>\n")
+	for _, f := range footerLinks {
+		fmt.Fprintf(&p.sb, `<a href="%s">%s</a> `, f.path, f.name)
+	}
+	p.sb.WriteString("\n</body></html>\n")
+	return p.sb.String()
+}
+
+// adRow renders an ad in the canonical column order used by the classified
+// and dealer data pages.
+func adRow(a Ad, cols []string) []string {
+	row := make([]string, len(cols))
+	for i, c := range cols {
+		switch c {
+		case "Make":
+			row[i] = a.Make
+		case "Model":
+			row[i] = a.Model
+		case "Year":
+			row[i] = fmt.Sprintf("%d", a.Year)
+		case "Price":
+			row[i] = fmt.Sprintf("$%d", a.Price)
+		case "Contact":
+			row[i] = a.Contact
+		case "ZipCode":
+			row[i] = a.Zip
+		case "Features":
+			row[i] = a.Features
+		case "Condition":
+			row[i] = a.Condition
+		}
+	}
+	return row
+}

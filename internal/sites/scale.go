@@ -1,0 +1,63 @@
+package sites
+
+import (
+	"fmt"
+
+	"webbase/internal/web"
+)
+
+// ScaledWorld is a parameterized simulated Web of n single-form dealer
+// sites (the WWWheels shape), used to study how evaluation scales with
+// site count beyond the paper's ten sites.
+type ScaledWorld struct {
+	Server *web.Server
+	Hosts  []string
+}
+
+// ScaledHost returns the host name of the i-th generated dealer.
+func ScaledHost(i int) string { return fmt.Sprintf("dealer%03d.example", i) }
+
+// BuildScaledWorld generates n dealer sites with independent seeded
+// datasets. Deterministic for a given n.
+func BuildScaledWorld(n int) *ScaledWorld {
+	w := &ScaledWorld{Server: web.NewServer()}
+	for i := 0; i < n; i++ {
+		host := ScaledHost(i)
+		ds := NewDataset(int64(1000+i), 120)
+		w.Server.Register(scaledDealer(host, ds))
+		w.Hosts = append(w.Hosts, host)
+	}
+	return w
+}
+
+// scaledDealer is the WWWheels shape on an arbitrary host: one form on the
+// home page, one unpaginated result table.
+func scaledDealer(host string, ds *Dataset) web.Site {
+	m := web.NewMux(host)
+	base := "http://" + host
+
+	m.Handle("/", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		p := newPage(host, false).
+			heading(host).
+			form("q", base+"/cgi-bin/q", "get",
+				selectField("make", Makes()...),
+				textField("model"))
+		return web.HTML(req.URL, p.done()), nil
+	}))
+	m.Handle("/cgi-bin/q", web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		mk := req.Param("make")
+		if mk == "" {
+			return web.HTML(req.URL, newPage("Error", false).text("make is required").done()), nil
+		}
+		ads := ds.ByMakeModel(mk, req.Param("model"))
+		rows := make([][]string, 0, len(ads))
+		for _, a := range ads {
+			rows = append(rows, adRow(a, dealerCols))
+		}
+		p := newPage(host+" results", false).
+			heading(fmt.Sprintf("%d cars", len(ads))).
+			table(dealerCols, rows)
+		return web.HTML(req.URL, p.done()), nil
+	}))
+	return m
+}

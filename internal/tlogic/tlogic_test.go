@@ -1,0 +1,412 @@
+package tlogic
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// counter is a toy state: a number plus a log of applied operations.
+type counter struct {
+	n   int
+	log []string
+}
+
+func (c *counter) Clone() State {
+	return &counter{n: c.n, log: append([]string(nil), c.log...)}
+}
+
+// op is a primitive that transforms the counter, optionally failing.
+type op struct {
+	name string
+	fn   func(c *counter, env Env) ([]Outcome, error)
+}
+
+func (o op) Name() string { return o.name }
+func (o op) Run(st State, env Env) ([]Outcome, error) {
+	return o.fn(st.(*counter), env)
+}
+
+func inc(by int) Formula {
+	return Prim{op{name: "inc", fn: func(c *counter, env Env) ([]Outcome, error) {
+		nc := c.Clone().(*counter)
+		nc.n += by
+		nc.log = append(nc.log, "inc")
+		return []Outcome{{State: nc, Env: env}}, nil
+	}}}
+}
+
+// guardLess succeeds (state unchanged) iff n < limit.
+func guardLess(limit int) Formula {
+	return Prim{op{name: "less", fn: func(c *counter, env Env) ([]Outcome, error) {
+		if c.n < limit {
+			return []Outcome{{State: c, Env: env}}, nil
+		}
+		return nil, nil
+	}}}
+}
+
+func bind(name, val string) Formula {
+	return Prim{op{name: "bind", fn: func(c *counter, env Env) ([]Outcome, error) {
+		return []Outcome{{State: c, Env: env.With(name, val)}}, nil
+	}}}
+}
+
+func failing() Formula {
+	return Prim{op{name: "boom", fn: func(c *counter, env Env) ([]Outcome, error) {
+		return nil, errors.New("hardware on fire")
+	}}}
+}
+
+func run(t *testing.T, in *Interp, goal Formula, start int) (Outcome, []State, bool) {
+	t.Helper()
+	out, path, ok, err := in.Run(goal, &counter{n: start}, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out, path, ok
+}
+
+func TestSerialExecutesInOrder(t *testing.T) {
+	in := &Interp{Program: NewProgram()}
+	out, path, ok := run(t, in, Seq(inc(1), inc(10), inc(100)), 0)
+	if !ok {
+		t.Fatal("serial failed")
+	}
+	if got := out.State.(*counter).n; got != 111 {
+		t.Errorf("n = %d, want 111", got)
+	}
+	// Path: initial + one state per action.
+	if len(path) != 4 {
+		t.Errorf("path length = %d, want 4", len(path))
+	}
+	ns := make([]int, len(path))
+	for i, s := range path {
+		ns[i] = s.(*counter).n
+	}
+	want := []int{0, 1, 11, 111}
+	for i := range want {
+		if ns[i] != want[i] {
+			t.Errorf("path[%d] = %d, want %d", i, ns[i], want[i])
+		}
+	}
+}
+
+func TestChoicePrefersLeftAndBacktracks(t *testing.T) {
+	in := &Interp{Program: NewProgram()}
+	// Left branch fails its guard after mutating: effects must not leak
+	// into the right branch.
+	left := Seq(inc(5), guardLess(0)) // always fails after the inc
+	right := inc(1)
+	out, _, ok := run(t, in, Choice{Left: left, Right: right}, 0)
+	if !ok {
+		t.Fatal("choice failed")
+	}
+	c := out.State.(*counter)
+	if c.n != 1 {
+		t.Errorf("n = %d, want 1 (left branch effects must be discarded)", c.n)
+	}
+	if len(c.log) != 1 {
+		t.Errorf("log = %v, want one entry", c.log)
+	}
+}
+
+func TestChoicePrefersLeftWhenBothSucceed(t *testing.T) {
+	in := &Interp{Program: NewProgram()}
+	out, _, ok := run(t, in, Choice{Left: inc(1), Right: inc(2)}, 0)
+	if !ok || out.State.(*counter).n != 1 {
+		t.Error("ordered choice should take the left branch first")
+	}
+}
+
+func TestRecursionCountsToLimit(t *testing.T) {
+	// count ← (n < 7) ⊗ inc(1) ⊗ count  ∨  ¬(n < 7)
+	p := NewProgram()
+	p.Define("count", Choice{
+		Left:  Seq(guardLess(7), inc(1), Call{Rule: "count"}),
+		Right: Not{Body: guardLess(7)},
+	})
+	in := &Interp{Program: p}
+	out, path, ok := run(t, in, Call{Rule: "count"}, 0)
+	if !ok {
+		t.Fatal("recursion failed")
+	}
+	if got := out.State.(*counter).n; got != 7 {
+		t.Errorf("n = %d, want 7", got)
+	}
+	if len(path) < 8 {
+		t.Errorf("path too short: %d", len(path))
+	}
+}
+
+func TestRunAllEnumeratesOutcomes(t *testing.T) {
+	in := &Interp{Program: NewProgram()}
+	goal := Seq(Alt(inc(1), inc(2)), Alt(inc(10), inc(20)))
+	outs, err := in.RunAll(goal, &counter{}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 4 {
+		t.Fatalf("outcomes = %d, want 4", len(outs))
+	}
+	got := map[int]bool{}
+	for _, o := range outs {
+		got[o.State.(*counter).n] = true
+	}
+	for _, want := range []int{11, 21, 12, 22} {
+		if !got[want] {
+			t.Errorf("missing outcome %d (got %v)", want, got)
+		}
+	}
+	// max limits enumeration.
+	outs, _ = in.RunAll(goal, &counter{}, nil, 2)
+	if len(outs) != 2 {
+		t.Errorf("limited outcomes = %d, want 2", len(outs))
+	}
+}
+
+func TestEnvBindingsThread(t *testing.T) {
+	in := &Interp{Program: NewProgram()}
+	out, _, ok := run(t, in, Seq(bind("make", "ford"), bind("model", "escort")), 0)
+	if !ok {
+		t.Fatal("failed")
+	}
+	if v, _ := out.Env.Lookup("make"); v != "ford" {
+		t.Errorf("make = %q", v)
+	}
+	if v, _ := out.Env.Lookup("model"); v != "escort" {
+		t.Errorf("model = %q", v)
+	}
+	if _, ok := out.Env.Lookup("zz"); ok {
+		t.Error("phantom binding")
+	}
+}
+
+func TestEnvImmutability(t *testing.T) {
+	e := Env{"a": "1"}
+	e2 := e.With("b", "2")
+	if _, ok := e.Lookup("b"); ok {
+		t.Error("With mutated the receiver")
+	}
+	if v, _ := e2.Lookup("a"); v != "1" {
+		t.Error("With lost existing bindings")
+	}
+}
+
+func TestNotIsHypothetical(t *testing.T) {
+	in := &Interp{Program: NewProgram()}
+	// ¬(inc ⊗ fail-guard): body fails, so Not succeeds with state intact.
+	out, _, ok := run(t, in, Seq(Not{Body: Seq(inc(5), guardLess(-1))}, inc(1)), 0)
+	if !ok {
+		t.Fatal("not-guard failed")
+	}
+	if got := out.State.(*counter).n; got != 1 {
+		t.Errorf("n = %d, want 1 (hypothetical inc must be discarded)", got)
+	}
+	// ¬(succeeding body) fails.
+	if _, _, ok := run(t, in, Not{Body: inc(1)}, 0); ok {
+		t.Error("Not over a succeeding body must fail")
+	}
+}
+
+func TestHardErrorAborts(t *testing.T) {
+	in := &Interp{Program: NewProgram()}
+	_, _, _, err := in.Run(Choice{Left: failing(), Right: inc(1)}, &counter{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "hardware on fire") {
+		t.Errorf("hard error should abort, got %v", err)
+	}
+}
+
+func TestUnknownRule(t *testing.T) {
+	in := &Interp{Program: NewProgram()}
+	_, _, _, err := in.Run(Call{Rule: "ghost"}, &counter{}, nil)
+	if !errors.Is(err, ErrUnknownRule) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	p := NewProgram()
+	p.Define("loop", Call{Rule: "loop"}) // infinite recursion
+	in := &Interp{Program: p, MaxDepth: 50}
+	_, _, _, err := in.Run(Call{Rule: "loop"}, &counter{}, nil)
+	if !errors.Is(err, ErrDepthExceeded) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestEmptyAndFailFormulas(t *testing.T) {
+	in := &Interp{Program: NewProgram()}
+	if _, _, ok := run(t, in, Empty{}, 0); !ok {
+		t.Error("ε must succeed")
+	}
+	if _, _, ok := run(t, in, Alt(), 0); ok {
+		t.Error("Alt() must fail")
+	}
+	if _, _, ok := run(t, in, Seq(), 0); !ok {
+		t.Error("Seq() must succeed")
+	}
+}
+
+func TestFormulaStrings(t *testing.T) {
+	f := Seq(inc(1), Choice{Left: Empty{}, Right: Call{Rule: "r"}})
+	s := f.String()
+	for _, want := range []string{"⊗", "∨", "ε", "r", "inc"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("formula rendering %q missing %q", s, want)
+		}
+	}
+	if !strings.Contains((Not{Body: Empty{}}).String(), "¬") {
+		t.Error("Not rendering")
+	}
+	if Alt().String() != "⊥" {
+		t.Error("fail rendering")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := NewProgram()
+	p.Define("b", Empty{})
+	p.Define("a", Call{Rule: "b"})
+	s := p.String()
+	if !strings.Contains(s, "a ← b") || !strings.Contains(s, "b ← ε") {
+		t.Errorf("program rendering:\n%s", s)
+	}
+	if strings.Index(s, "a ←") > strings.Index(s, "b ←") {
+		t.Error("rules should render sorted")
+	}
+	if _, ok := p.Rule("a"); !ok {
+		t.Error("Rule lookup failed")
+	}
+}
+
+// outcomesOf collects the multiset of final counter values of all
+// executions.
+func outcomesOf(t *testing.T, f Formula, start int) []int {
+	t.Helper()
+	in := &Interp{Program: NewProgram()}
+	outs, err := in.RunAll(f, &counter{n: start}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := make([]int, len(outs))
+	for i, o := range outs {
+		ns[i] = o.State.(*counter).n
+	}
+	return ns
+}
+
+// randomFormula builds a small random ⊗/∨ formula over inc/guard
+// primitives.
+func randomFormula(r *rand.Rand, depth int) Formula {
+	if depth <= 0 {
+		switch r.Intn(3) {
+		case 0:
+			return inc(1 + r.Intn(5))
+		case 1:
+			return guardLess(5 + r.Intn(20))
+		default:
+			return Empty{}
+		}
+	}
+	a, b := randomFormula(r, depth-1), randomFormula(r, depth-1)
+	if r.Intn(2) == 0 {
+		return Serial{Left: a, Right: b}
+	}
+	return Choice{Left: a, Right: b}
+}
+
+// TestSerialAssociativityProperty: (a ⊗ b) ⊗ c and a ⊗ (b ⊗ c) produce the
+// same outcome sequences — Transaction Logic's ⊗ is associative.
+func TestSerialAssociativityProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := randomFormula(r, 2), randomFormula(r, 2), randomFormula(r, 2)
+		left := Serial{Left: Serial{Left: a, Right: b}, Right: c}
+		right := Serial{Left: a, Right: Serial{Left: b, Right: c}}
+		lo, ro := outcomesOf(t, left, 0), outcomesOf(t, right, 0)
+		if !reflect.DeepEqual(lo, ro) {
+			t.Fatalf("trial %d: %v vs %v\n%s\n%s", trial, lo, ro, left, right)
+		}
+	}
+}
+
+// TestSerialDistributesOverChoice: a ⊗ (b ∨ c) ≡ (a ⊗ b) ∨ (a ⊗ c) as an
+// outcome multiset (when a is nondeterministic the two sides enumerate in
+// different orders) — the left-distributivity that justifies the navmap
+// translation grouping parallel edges under one action.
+func TestSerialDistributesOverChoice(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := randomFormula(r, 2), randomFormula(r, 2), randomFormula(r, 2)
+		fused := Serial{Left: a, Right: Choice{Left: b, Right: c}}
+		split := Choice{Left: Serial{Left: a, Right: b}, Right: Serial{Left: a, Right: c}}
+		fo, so := outcomesOf(t, fused, 0), outcomesOf(t, split, 0)
+		sort.Ints(fo)
+		sort.Ints(so)
+		if !reflect.DeepEqual(fo, so) {
+			t.Fatalf("trial %d: %v vs %v", trial, fo, so)
+		}
+	}
+}
+
+// TestEpsilonIsSerialIdentity: ε ⊗ a ≡ a ≡ a ⊗ ε.
+func TestEpsilonIsSerialIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 100; trial++ {
+		a := randomFormula(r, 3)
+		base := outcomesOf(t, a, 1)
+		if !reflect.DeepEqual(outcomesOf(t, Serial{Left: Empty{}, Right: a}, 1), base) {
+			t.Fatalf("ε ⊗ a ≠ a for %s", a)
+		}
+		if !reflect.DeepEqual(outcomesOf(t, Serial{Left: a, Right: Empty{}}, 1), base) {
+			t.Fatalf("a ⊗ ε ≠ a for %s", a)
+		}
+	}
+}
+
+func TestPruneRemovesUnreachableRules(t *testing.T) {
+	p := NewProgram()
+	p.Define("a", Serial{Left: Call{Rule: "b"}, Right: Empty{}})
+	p.Define("b", Choice{Left: Empty{}, Right: Not{Body: Call{Rule: "c"}}})
+	p.Define("c", Call{Rule: "c"}) // self-recursive, reachable through ¬
+	p.Define("orphan", Empty{})
+	p.Define("orphan2", Call{Rule: "orphan"}) // only reachable from orphans
+
+	goal := Call{Rule: "a"}
+	reach := p.Reachable(goal)
+	for _, want := range []string{"a", "b", "c"} {
+		if !reach[want] {
+			t.Errorf("rule %s should be reachable", want)
+		}
+	}
+	if reach["orphan"] || reach["orphan2"] {
+		t.Error("orphans reported reachable")
+	}
+	pruned := p.Prune(goal)
+	if pruned.Len() != 3 {
+		t.Errorf("pruned to %d rules, want 3", pruned.Len())
+	}
+	// Pruned program still executes the goal identically.
+	in := &Interp{Program: pruned}
+	if _, _, ok, err := in.Run(goal, &counter{}, nil); err != nil || !ok {
+		t.Errorf("pruned program broken: %v %v", ok, err)
+	}
+}
+
+func TestPathIsolationAcrossBranches(t *testing.T) {
+	// Both branches of a choice extend the same prefix; ensure RunAll sees
+	// consistent per-branch outcomes (no shared-slice corruption).
+	in := &Interp{Program: NewProgram()}
+	goal := Seq(inc(1), Alt(inc(10), inc(20)))
+	outs, err := in.RunAll(goal, &counter{}, nil, 0)
+	if err != nil || len(outs) != 2 {
+		t.Fatalf("outs = %v, err = %v", outs, err)
+	}
+	if outs[0].State.(*counter).n != 11 || outs[1].State.(*counter).n != 21 {
+		t.Errorf("branch outcomes: %d, %d", outs[0].State.(*counter).n, outs[1].State.(*counter).n)
+	}
+}

@@ -1,0 +1,147 @@
+package ur
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Rule is one compatibility rule. Positive (⊕): once Context is joined,
+// joining Target also "makes sense". Negative (⊖): joining Target with
+// Context is a navigation trap. An empty Context on a positive rule makes
+// Target a valid starting relation.
+type Rule struct {
+	Target   string
+	Context  []string
+	Negative bool
+}
+
+// Plus builds a positive rule Target ⊕ Context.
+func Plus(target string, context ...string) Rule {
+	return Rule{Target: target, Context: context}
+}
+
+// Minus builds a negative rule Target ⊖ Context.
+func Minus(target string, context ...string) Rule {
+	return Rule{Target: target, Context: context, Negative: true}
+}
+
+// String renders the rule.
+func (r Rule) String() string {
+	op := "⊕"
+	if r.Negative {
+		op = "⊖"
+	}
+	if len(r.Context) == 0 {
+		return fmt.Sprintf("%s %s ∅", r.Target, op)
+	}
+	return fmt.Sprintf("%s %s %s", r.Target, op, strings.Join(r.Context, ", "))
+}
+
+// Compatible implements the paper's compatibility test for a set of UR
+// relations: for every member R there must be a positive rule R ⊕ L with
+// L ⊆ set∖{R}, and there must be no negative rule R ⊖ L with
+// {R} ∪ L ⊆ set.
+func Compatible(set []string, rules []Rule) bool {
+	in := make(map[string]bool, len(set))
+	for _, r := range set {
+		in[r] = true
+	}
+	covered := func(context []string, except string) bool {
+		for _, c := range context {
+			if c == except || !in[c] {
+				return false
+			}
+		}
+		return true
+	}
+	// Negative rules veto.
+	for _, rule := range rules {
+		if rule.Negative && in[rule.Target] && covered(rule.Context, "") {
+			return false
+		}
+	}
+	// Every member needs positive justification.
+	for _, member := range set {
+		justified := false
+		for _, rule := range rules {
+			if rule.Negative || rule.Target != member {
+				continue
+			}
+			if covered(rule.Context, member) {
+				justified = true
+				break
+			}
+		}
+		if !justified {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxRelationsForEnumeration bounds the exact maximal-object search. UR
+// schemas are designed per application domain by a domain expert (Section
+// 6) and have a handful of relations, so exact enumeration is affordable.
+const MaxRelationsForEnumeration = 22
+
+// MaximalObjects enumerates the maximal (w.r.t. inclusion) compatible
+// subsets of relations — the paper's analogue of Maier–Ullman maximal
+// objects. Results and their members are sorted for determinism.
+//
+// Compatibility is not monotone in either direction (a member's positive
+// justification may only appear once its context joins; a negative rule
+// may only trigger once its context completes), so the exact powerset is
+// examined. The relation count is bounded by MaxRelationsForEnumeration;
+// beyond that the function panics, signalling a misdesigned UR schema.
+func MaximalObjects(relations []string, rules []Rule) [][]string {
+	rels := append([]string(nil), relations...)
+	sort.Strings(rels)
+	n := len(rels)
+	if n > MaxRelationsForEnumeration {
+		panic(fmt.Sprintf("ur: %d relations exceed the maximal-object enumeration bound %d", n, MaxRelationsForEnumeration))
+	}
+	var compatibleSets [][]string
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var s []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				s = append(s, rels[i])
+			}
+		}
+		if Compatible(s, rules) {
+			compatibleSets = append(compatibleSets, s)
+		}
+	}
+	// Keep the maximal ones.
+	var out [][]string
+	for _, s := range compatibleSets {
+		maximal := true
+		for _, other := range compatibleSets {
+			if len(other) > len(s) && subset(s, other) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i], ",") < strings.Join(out[j], ",")
+	})
+	return out
+}
+
+func subset(small, big []string) bool {
+	in := make(map[string]bool, len(big))
+	for _, v := range big {
+		in[v] = true
+	}
+	for _, v := range small {
+		if !in[v] {
+			return false
+		}
+	}
+	return true
+}

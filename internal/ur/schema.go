@@ -1,0 +1,337 @@
+package ur
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"webbase/internal/algebra"
+	"webbase/internal/relation"
+)
+
+// Schema is a structured universal relation for one application domain:
+// the concept hierarchy the user browses, the compatibility rules, and the
+// mapping of UR relations onto logical relations.
+type Schema struct {
+	Name      string
+	Hierarchy *Hierarchy
+	Rules     []Rule
+	// Mapping sends UR relation names to logical relation names. UR
+	// relations absent from the map are assumed to map to the logical
+	// relation of the same name.
+	Mapping map[string]string
+
+	// maximal objects are precomputed at construction.
+	objects [][]string
+}
+
+// NewSchema validates and assembles a UR schema, precomputing its maximal
+// objects.
+func NewSchema(name string, h *Hierarchy, rules []Rule, mapping map[string]string) (*Schema, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	rels := h.Relations()
+	known := make(map[string]bool, len(rels))
+	for _, r := range rels {
+		known[r] = true
+	}
+	for _, rule := range rules {
+		if !known[rule.Target] {
+			return nil, fmt.Errorf("ur: rule %s targets unknown relation", rule)
+		}
+		for _, c := range rule.Context {
+			if !known[c] {
+				return nil, fmt.Errorf("ur: rule %s references unknown relation %q", rule, c)
+			}
+		}
+	}
+	s := &Schema{Name: name, Hierarchy: h, Rules: rules, Mapping: mapping}
+	s.objects = MaximalObjects(rels, rules)
+	if len(s.objects) == 0 {
+		return nil, fmt.Errorf("ur: schema %s has no compatible relation sets — check the ⊕ rules", name)
+	}
+	return s, nil
+}
+
+// MaximalObjects returns the precomputed maximal objects.
+func (s *Schema) MaximalObjects() [][]string { return s.objects }
+
+// LogicalName maps a UR relation to its logical relation.
+func (s *Schema) LogicalName(urRel string) string {
+	if n, ok := s.Mapping[urRel]; ok {
+		return n
+	}
+	return urRel
+}
+
+// Query is a universal relation query: output attributes plus conditions —
+// "the user simply points to a set of output attributes and imposes
+// conditions on some other attributes. This is it: no joins, sheer
+// simplicity."
+type Query struct {
+	Output     []string
+	Conditions []algebra.Condition
+	// OrderBy sorts the final answer; Limit truncates it (0 = all).
+	// Presentation only — they do not affect planning.
+	OrderBy []relation.SortKey
+	Limit   int
+}
+
+// Attrs returns every attribute the query mentions.
+func (q Query) Attrs() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(a string) {
+		if a != "" && !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	for _, a := range q.Output {
+		add(a)
+	}
+	for _, c := range q.Conditions {
+		add(c.Attr)
+		add(c.Attr2)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the query.
+func (q Query) String() string {
+	var conds []string
+	for _, c := range q.Conditions {
+		conds = append(conds, c.String())
+	}
+	out := "SELECT " + strings.Join(q.Output, ", ")
+	if len(conds) > 0 {
+		out += " WHERE " + strings.Join(conds, " AND ")
+	}
+	if len(q.OrderBy) > 0 {
+		keys := make([]string, len(q.OrderBy))
+		for i, k := range q.OrderBy {
+			keys[i] = k.Attr
+			if k.Desc {
+				keys[i] += " DESC"
+			}
+		}
+		out += " ORDER BY " + strings.Join(keys, ", ")
+	}
+	if q.Limit > 0 {
+		out += fmt.Sprintf(" LIMIT %d", q.Limit)
+	}
+	return out
+}
+
+// PlanObject is the query plan contribution of one maximal object: the
+// minimal compatible covering subset of its UR relations and the algebra
+// expression (over logical relations) computing its answers.
+type PlanObject struct {
+	Object    []string // the maximal object
+	Relations []string // the minimal covering subset actually joined
+	Expr      algebra.Expr
+}
+
+// Plan is a full UR query plan: one expression per qualifying maximal
+// object; the answer is the union of their results.
+type Plan struct {
+	Query   Query
+	Objects []PlanObject
+}
+
+// String renders the plan in the style of Example 6.2's object listing.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", p.Query)
+	for _, o := range p.Objects {
+		fmt.Fprintf(&sb, "  object {%s} → join(%s)\n",
+			strings.Join(o.Object, " ⋈ "), strings.Join(o.Relations, ", "))
+	}
+	return sb.String()
+}
+
+// Errors reported by the planner.
+var (
+	ErrUnknownAttribute = errors.New("ur: attribute not in the universal relation")
+	ErrNotCoverable     = errors.New("ur: no maximal object covers the query attributes")
+)
+
+// Plan compiles a UR query: for every maximal object whose attributes
+// cover the query's, it selects the minimal (smallest, ties broken
+// deterministically) compatible subset of the object that still covers the
+// query, and builds the join-select-project expression over the mapped
+// logical relations. Plans from objects that produce identical relation
+// subsets are deduplicated.
+func (s *Schema) Plan(q Query) (*Plan, error) {
+	attrs := q.Attrs()
+	if len(q.Output) == 0 {
+		return nil, fmt.Errorf("ur: query has no output attributes")
+	}
+	outSeen := make(map[string]bool, len(q.Output))
+	for _, a := range q.Output {
+		if outSeen[a] {
+			return nil, fmt.Errorf("ur: output attribute %q listed twice", a)
+		}
+		outSeen[a] = true
+	}
+	for _, a := range attrs {
+		if len(s.Hierarchy.RelationsWithAttr(a)) == 0 {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownAttribute, a)
+		}
+	}
+	plan := &Plan{Query: q}
+	seen := make(map[string]bool)
+	for _, obj := range s.objects {
+		if !coversAll(s.Hierarchy, obj, attrs) {
+			continue
+		}
+		sub := s.minimalCover(obj, attrs)
+		if sub == nil {
+			continue
+		}
+		key := strings.Join(sub, ",")
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		expr, err := s.buildExpr(sub, q)
+		if err != nil {
+			return nil, err
+		}
+		plan.Objects = append(plan.Objects, PlanObject{Object: obj, Relations: sub, Expr: expr})
+	}
+	if len(plan.Objects) == 0 {
+		return nil, fmt.Errorf("%w: attributes %v (objects: %v)", ErrNotCoverable, attrs, s.objects)
+	}
+	return plan, nil
+}
+
+// minimalCover finds the smallest compatible subset of object covering the
+// attributes; among equal sizes the lexicographically first is taken.
+func (s *Schema) minimalCover(object, attrs []string) []string {
+	n := len(object)
+	var best []string
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var sub []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				sub = append(sub, object[i])
+			}
+		}
+		if best != nil && len(sub) >= len(best) {
+			continue
+		}
+		if !coversAll(s.Hierarchy, sub, attrs) || !Compatible(sub, s.Rules) {
+			continue
+		}
+		best = sub
+	}
+	return best
+}
+
+func coversAll(h *Hierarchy, rels, attrs []string) bool {
+	have := make(map[string]bool)
+	for _, r := range rels {
+		for _, a := range h.AttrsOf(r) {
+			have[a] = true
+		}
+	}
+	for _, a := range attrs {
+		if !have[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildExpr assembles σ[conditions](⋈ mapped relations) projected onto the
+// output attributes.
+func (s *Schema) buildExpr(rels []string, q Query) (algebra.Expr, error) {
+	scans := make([]algebra.Expr, len(rels))
+	for i, r := range rels {
+		scans[i] = &algebra.Scan{Relation: s.LogicalName(r)}
+	}
+	var expr algebra.Expr = algebra.JoinAll(scans...)
+	for _, c := range q.Conditions {
+		expr = &algebra.Select{Input: expr, Cond: c}
+	}
+	return &algebra.Project{Input: expr, Attrs: q.Output}, nil
+}
+
+// Result is the outcome of evaluating a UR query.
+type Result struct {
+	Relation *relation.Relation
+	Plan     *Plan
+	// Skipped lists maximal objects whose evaluation was abandoned
+	// because some mandatory binding could not be supplied from the
+	// query; their answers are missing from Relation (the relaxed,
+	// partial-answer semantics).
+	Skipped []string
+}
+
+// Eval plans and evaluates the query against the logical catalog, taking
+// the union of the qualifying maximal objects' answers. The objects are
+// independent and evaluate concurrently (each navigates different site
+// combinations; the fetch stack is concurrency-safe). Objects that fail
+// on binding grounds are skipped and reported; any other failure aborts.
+func (s *Schema) Eval(q Query, cat algebra.Catalog) (*Result, error) {
+	plan, err := s.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Plan: plan}
+	type objResult struct {
+		rel *relation.Relation
+		err error
+	}
+	results := make([]objResult, len(plan.Objects))
+	var wg sync.WaitGroup
+	for i, obj := range plan.Objects {
+		wg.Add(1)
+		go func(i int, obj PlanObject) {
+			defer wg.Done()
+			// The paper: "once translated, these queries can be optimized
+			// and evaluated by standard query evaluation techniques."
+			rel, err := algebra.Eval(algebra.Optimize(obj.Expr, cat), cat, nil)
+			results[i] = objResult{rel: rel, err: err}
+		}(i, obj)
+	}
+	wg.Wait()
+	for i, obj := range plan.Objects {
+		rel, err := results[i].rel, results[i].err
+		if err != nil {
+			if isBindingFailure(err) {
+				res.Skipped = append(res.Skipped,
+					fmt.Sprintf("{%s}: %v", strings.Join(obj.Relations, ", "), err))
+				continue
+			}
+			return nil, fmt.Errorf("ur: evaluating object {%s}: %w", strings.Join(obj.Relations, ", "), err)
+		}
+		if res.Relation == nil {
+			res.Relation = rel
+			continue
+		}
+		if res.Relation, err = res.Relation.Union(rel); err != nil {
+			return nil, err
+		}
+	}
+	if res.Relation == nil {
+		return nil, fmt.Errorf("ur: every maximal object was skipped: %s", strings.Join(res.Skipped, "; "))
+	}
+	res.Relation = res.Relation.Distinct()
+	if len(q.OrderBy) > 0 {
+		res.Relation = res.Relation.SortKeys(q.OrderBy...)
+	}
+	if q.Limit > 0 {
+		res.Relation = res.Relation.Limit(q.Limit)
+	}
+	return res, nil
+}
+
+func isBindingFailure(err error) bool {
+	return errors.Is(err, algebra.ErrBindingUnsatisfied) || errors.Is(err, algebra.ErrNoOrdering)
+}

@@ -1,0 +1,115 @@
+package ur
+
+// UsedCarUR builds the structured universal relation of the used-car
+// webbase (Example 2.1 / Figure 5), mapped onto the standard logical
+// catalog's views. Its attributes are the union of the logical layer's
+// attributes; the compatibility rules connect ads (from one source at a
+// time) with blue book prices, safety, reliability reviews and financing.
+func UsedCarUR() (*Schema, error) {
+	h := &Hierarchy{Root: Cat("UsedCarUR",
+		Cat("Source",
+			Rel("Classifieds", Attrs("Make", "Model", "Year", "Price", "Contact", "Features")...),
+			Rel("Dealers", Attrs("Make", "Model", "Year", "Price", "Features", "ZipCode", "Contact")...),
+		),
+		Cat("BlueBook",
+			Rel("BluePrice", Attrs("Make", "Model", "Year", "Condition", "BBPrice")...),
+		),
+		Cat("Ratings",
+			Rel("Safety", Attrs("Make", "Model", "Safety")...),
+			Rel("Reviews", Attrs("Make", "Model", "Reliability")...),
+		),
+		Cat("Financing",
+			Rel("Interest", Attrs("ZipCode", "Duration", "Rate")...),
+		),
+	)}
+	rules := []Rule{
+		// Either ad source can start a query.
+		Plus("Classifieds"),
+		Plus("Dealers"),
+		// ...but a single car ad comes from exactly one source: joining
+		// both is a navigation trap.
+		Minus("Classifieds", "Dealers"),
+		// Blue book, safety and reviews make sense for any advertised car.
+		Plus("BluePrice", "Classifieds"),
+		Plus("BluePrice", "Dealers"),
+		Plus("Safety", "Classifieds"),
+		Plus("Safety", "Dealers"),
+		Plus("Reviews", "Classifieds"),
+		Plus("Reviews", "Dealers"),
+		// Financing attaches to a purchase from either source.
+		Plus("Interest", "Classifieds"),
+		Plus("Interest", "Dealers"),
+	}
+	mapping := map[string]string{
+		"Classifieds": "classifieds",
+		"Dealers":     "dealers",
+		"BluePrice":   "bluePrice",
+		"Safety":      "reliability",
+		"Reviews":     "reviews",
+		"Interest":    "interest",
+	}
+	return NewSchema("UsedCarUR", h, rules, mapping)
+}
+
+// Example62 builds the exact configuration of the paper's Example 6.2 —
+// the UsedCarUR with dealer/classified sources, lease/loan financing,
+// full/liability insurance and retail/trade-in blue book values — whose
+// compatibility constraints generate precisely the five maximal objects
+// the paper lists:
+//
+//	Dealers ⋈ Lease ⋈ Full ⋈ RetailVal
+//	Dealers ⋈ Loan ⋈ Full ⋈ RetailVal
+//	Dealers ⋈ Loan ⋈ Liability ⋈ RetailVal
+//	Classifieds ⋈ Loan ⋈ Liability ⋈ RetailVal
+//	Classifieds ⋈ Loan ⋈ Full ⋈ RetailVal
+//
+// This schema is symbolic (it exists to reproduce the example's object
+// enumeration); it is not mapped onto the simulated logical layer.
+func Example62() (*Schema, error) {
+	h := &Hierarchy{Root: Cat("UsedCarUR",
+		Cat("UsedCar",
+			Rel("Dealers", Attrs("Car", "Price", "Contact")...),
+			Rel("Classifieds", Attrs("Car", "Price", "Contact")...),
+		),
+		Cat("Rate",
+			Rel("Lease", Attrs("Car", "LeaseRate")...),
+			Rel("Loan", Attrs("Car", "LoanRate")...),
+		),
+		Cat("Insurance",
+			Rel("FullCoverage", Attrs("Car", "FullCost")...),
+			Rel("Liability", Attrs("Car", "LiabilityCost")...),
+		),
+		Cat("Value",
+			Rel("RetailValue", Attrs("Car", "BBPrice")...),
+			Rel("TradeInValue", Attrs("Car", "TradeIn")...),
+		),
+	)}
+	rules := []Rule{
+		Plus("Dealers"),
+		Plus("Classifieds"),
+		// Ads come from one source.
+		Minus("Dealers", "Classifieds"),
+		// Financing: loans from either source; "we cannot lease a car
+		// from its owner" (Example 6.2).
+		Plus("Loan", "Dealers"),
+		Plus("Loan", "Classifieds"),
+		Plus("Lease", "Dealers"),
+		Minus("Lease", "Classifieds"),
+		// One financing mode at a time.
+		Minus("Lease", "Loan"),
+		// Insurance attaches to financing; "leased cars have to be fully
+		// insured".
+		Plus("FullCoverage", "Loan"),
+		Plus("FullCoverage", "Lease"),
+		Plus("Liability", "Loan"),
+		Minus("Liability", "Lease"),
+		// One coverage at a time.
+		Minus("FullCoverage", "Liability"),
+		// Retail value applies to any advertised used car; "trade-in
+		// values are not applicable" to used-car purchases, so
+		// TradeInValue has no positive rule and never joins.
+		Plus("RetailValue", "Dealers"),
+		Plus("RetailValue", "Classifieds"),
+	}
+	return NewSchema("UsedCarUR-Example6.2", h, rules, nil)
+}

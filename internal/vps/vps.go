@@ -1,0 +1,282 @@
+// Package vps implements the Virtual Physical Schema layer (Section 3):
+// the lowest layer of the webbase, which represents "all the data there is
+// to see by filing requests to the server" and provides navigation
+// independence to the layers above.
+//
+// Each VPS relation is populated by executing a navigation expression; a
+// relation can only be accessed through a handle
+//
+//	H = <mandatory-attrs, selection-attrs, R, expression>
+//
+// that requires values for its mandatory attributes before the expression
+// can be invoked. Several handles may exist per relation, with different
+// mandatory sets; all handles for a relation must agree (invoking any two
+// with the same sufficient inputs yields the same result).
+package vps
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"webbase/internal/navcalc"
+	"webbase/internal/relation"
+	"webbase/internal/web"
+)
+
+// Handle is the access descriptor of a VPS relation.
+type Handle struct {
+	Relation  string
+	Mandatory relation.AttrSet // minimum inputs required to invoke
+	Selection relation.AttrSet // all inputs the expression can forward (⊇ Mandatory)
+	Expr      *navcalc.Expression
+}
+
+// String renders the handle as the paper's quadruple.
+func (h *Handle) String() string {
+	return fmt.Sprintf("⟨%s, %s, %s, %s⟩", h.Mandatory, h.Selection, h.Relation, h.Expr.Name)
+}
+
+// Invocable reports whether the handle can be invoked with the given
+// inputs: every mandatory attribute has a value.
+func (h *Handle) Invocable(inputs map[string]relation.Value) bool {
+	for a := range h.Mandatory {
+		v, ok := inputs[a]
+		if !ok || v.IsNull() {
+			return false
+		}
+	}
+	return true
+}
+
+// usefulness counts how many provided inputs the handle can forward — the
+// registry prefers handles that push more selection attributes to the
+// server ("these attributes are eventually passed to the various Web
+// servers who use these attributes to return more specific answers").
+func (h *Handle) usefulness(inputs map[string]relation.Value) int {
+	n := 0
+	for a := range h.Selection {
+		if v, ok := inputs[a]; ok && !v.IsNull() {
+			n++
+		}
+	}
+	return n
+}
+
+// RelationInfo describes one VPS relation: its schema and its handles.
+type RelationInfo struct {
+	Name    string
+	Schema  relation.Schema
+	Handles []*Handle
+}
+
+// Bindings returns the relation's alternative binding sets — one mandatory
+// attribute set per handle. These feed the binding propagation of the
+// logical layer (Section 5).
+func (ri *RelationInfo) Bindings() []relation.AttrSet {
+	out := make([]relation.AttrSet, len(ri.Handles))
+	for i, h := range ri.Handles {
+		out[i] = h.Mandatory.Clone()
+	}
+	return out
+}
+
+// Registry is the virtual physical schema: the set of VPS relations with
+// their handles.
+type Registry struct {
+	relations map[string]*RelationInfo
+}
+
+// NewRegistry returns an empty VPS.
+func NewRegistry() *Registry {
+	return &Registry{relations: make(map[string]*RelationInfo)}
+}
+
+// Errors reported by the registry.
+var (
+	ErrUnknownRelation = errors.New("vps: unknown relation")
+	ErrNoUsableHandle  = errors.New("vps: no handle invocable with the given inputs")
+)
+
+// Declare registers a relation schema. Declaring twice with a different
+// schema is an error.
+func (r *Registry) Declare(name string, schema relation.Schema) error {
+	if ri, ok := r.relations[name]; ok {
+		if !ri.Schema.Equal(schema) {
+			return fmt.Errorf("vps: relation %s already declared with schema %v", name, ri.Schema)
+		}
+		return nil
+	}
+	r.relations[name] = &RelationInfo{Name: name, Schema: schema.Clone()}
+	return nil
+}
+
+// AddHandle attaches a handle to its relation, enforcing the paper's
+// constraints: mandatory ⊆ selection, selection attributes drawn from the
+// relation schema, and distinct mandatory sets across the relation's
+// handles ("different handles for the same relation must use different
+// sets of mandatory attributes").
+func (r *Registry) AddHandle(h *Handle) error {
+	ri, ok := r.relations[h.Relation]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownRelation, h.Relation)
+	}
+	if !h.Mandatory.SubsetOf(h.Selection) {
+		return fmt.Errorf("vps: handle for %s: mandatory %s ⊄ selection %s", h.Relation, h.Mandatory, h.Selection)
+	}
+	schemaSet := relation.SetFromSchema(ri.Schema)
+	if !h.Selection.SubsetOf(schemaSet) {
+		return fmt.Errorf("vps: handle for %s: selection %s not within schema %v", h.Relation, h.Selection, ri.Schema)
+	}
+	if !h.Expr.Schema.EqualUnordered(ri.Schema) {
+		return fmt.Errorf("vps: handle for %s: expression schema %v ≠ relation schema %v", h.Relation, h.Expr.Schema, ri.Schema)
+	}
+	for _, other := range ri.Handles {
+		if other.Mandatory.Equal(h.Mandatory) {
+			return fmt.Errorf("vps: relation %s already has a handle with mandatory set %s", h.Relation, h.Mandatory)
+		}
+	}
+	ri.Handles = append(ri.Handles, h)
+	return nil
+}
+
+// Relation returns the info of the named relation.
+func (r *Registry) Relation(name string) (*RelationInfo, bool) {
+	ri, ok := r.relations[name]
+	return ri, ok
+}
+
+// Relations returns all relation infos sorted by name.
+func (r *Registry) Relations() []*RelationInfo {
+	out := make([]*RelationInfo, 0, len(r.relations))
+	for _, ri := range r.relations {
+		out = append(out, ri)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Bindings returns the alternative binding sets of the named relation.
+func (r *Registry) Bindings(name string) ([]relation.AttrSet, error) {
+	ri, ok := r.relations[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownRelation, name)
+	}
+	return ri.Bindings(), nil
+}
+
+// ChooseHandle picks the handle to serve the given inputs: among the
+// invocable handles, the one forwarding the most selection attributes
+// (ties broken by registration order).
+func (r *Registry) ChooseHandle(name string, inputs map[string]relation.Value) (*Handle, error) {
+	ri, ok := r.relations[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownRelation, name)
+	}
+	var best *Handle
+	bestScore := -1
+	for _, h := range ri.Handles {
+		if !h.Invocable(inputs) {
+			continue
+		}
+		if score := h.usefulness(inputs); score > bestScore {
+			best, bestScore = h, score
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: relation %s with inputs %s (bindings: %s)",
+			ErrNoUsableHandle, name, inputKeys(inputs), bindingsString(ri.Bindings()))
+	}
+	return best, nil
+}
+
+// Populate executes the chosen handle's navigation expression and returns
+// the relation restricted to the given inputs. Sites may answer more
+// broadly than asked (a selection attribute the handle could not forward),
+// so the result is post-filtered: every returned tuple satisfies
+// tuple[a] = inputs[a] for each input attribute a in the schema.
+func (r *Registry) Populate(f web.Fetcher, name string, inputs map[string]relation.Value) (*relation.Relation, *navcalc.ExecInfo, error) {
+	h, err := r.ChooseHandle(name, inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	strInputs := make(map[string]string, len(inputs))
+	for a, v := range inputs {
+		if !v.IsNull() {
+			strInputs[a] = v.String()
+		}
+	}
+	rel, info, err := h.Expr.Execute(f, strInputs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("vps: populating %s: %w", name, err)
+	}
+	ri := r.relations[name]
+	filtered := rel.Select(func(t relation.Tuple) bool {
+		for a, v := range inputs {
+			i := ri.Schema.IndexOf(a)
+			if i < 0 || v.IsNull() {
+				continue
+			}
+			if !t[i].Equal(v) {
+				return false
+			}
+		}
+		return true
+	})
+	return filtered, info, nil
+}
+
+// CheckAgreement verifies the paper's handle-agreement property on live
+// data: executing every invocable handle of the relation with the same
+// inputs must yield the same tuples. It returns an error describing the
+// first disagreement.
+func (r *Registry) CheckAgreement(f web.Fetcher, name string, inputs map[string]relation.Value) error {
+	ri, ok := r.relations[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownRelation, name)
+	}
+	strInputs := make(map[string]string, len(inputs))
+	for a, v := range inputs {
+		strInputs[a] = v.String()
+	}
+	var ref *relation.Relation
+	var refHandle *Handle
+	for _, h := range ri.Handles {
+		if !h.Invocable(inputs) {
+			continue
+		}
+		rel, _, err := h.Expr.Execute(f, strInputs)
+		if err != nil {
+			return fmt.Errorf("vps: agreement check %s: handle %s: %w", name, h, err)
+		}
+		if ref == nil {
+			ref, refHandle = rel, h
+			continue
+		}
+		d1, err1 := ref.Diff(rel)
+		d2, err2 := rel.Diff(ref)
+		if err1 != nil || err2 != nil || d1.Len() != 0 || d2.Len() != 0 {
+			return fmt.Errorf("vps: handles %s and %s disagree on %s with inputs %s",
+				refHandle, h, name, inputKeys(inputs))
+		}
+	}
+	return nil
+}
+
+func inputKeys(inputs map[string]relation.Value) string {
+	keys := make([]string, 0, len(inputs))
+	for a := range inputs {
+		keys = append(keys, a)
+	}
+	sort.Strings(keys)
+	return "{" + strings.Join(keys, ", ") + "}"
+}
+
+func bindingsString(bs []relation.AttrSet) string {
+	parts := make([]string, len(bs))
+	for i, b := range bs {
+		parts[i] = b.String()
+	}
+	return strings.Join(parts, " | ")
+}

@@ -1,0 +1,58 @@
+package web
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+)
+
+// ErrSimulatedOutage is the error injected by Flaky.
+var ErrSimulatedOutage = errors.New("web: simulated network outage")
+
+// Flaky wraps a fetcher with deterministic failure injection: requests
+// whose (sequence, URL) hash falls under failEveryN fail with
+// ErrSimulatedOutage. With failEveryN = 3 roughly every third fetch
+// fails; deterministic per run so tests are stable. The 1998 Web failed
+// constantly; the webbase has to live with that.
+type Flaky struct {
+	Inner     Fetcher
+	FailEvery uint64 // every n-th eligible request fails; 0 disables
+	seq       atomic.Uint64
+}
+
+// Fetch implements Fetcher with injected failures.
+func (f *Flaky) Fetch(req *Request) (*Response, error) {
+	n := f.seq.Add(1)
+	if f.FailEvery > 0 {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d|%s", n, req.URL)
+		if h.Sum64()%f.FailEvery == 0 {
+			return nil, fmt.Errorf("%w: %s", ErrSimulatedOutage, req.URL)
+		}
+	}
+	return f.Inner.Fetch(req)
+}
+
+// Attempts reports how many fetches Flaky has seen (including failed
+// ones).
+func (f *Flaky) Attempts() uint64 { return f.seq.Load() }
+
+// WithRetry wraps inner so that failed fetches are retried up to retries
+// additional times. Retrying is safe: webbase navigation only performs
+// idempotent reads (the paper's system never updates the sites it
+// queries). Non-success status codes are returned as-is — they are the
+// site's answer, not a transport failure.
+func WithRetry(inner Fetcher, retries int) Fetcher {
+	return FetcherFunc(func(req *Request) (*Response, error) {
+		var lastErr error
+		for attempt := 0; attempt <= retries; attempt++ {
+			resp, err := inner.Fetch(req)
+			if err == nil {
+				return resp, nil
+			}
+			lastErr = err
+		}
+		return nil, fmt.Errorf("web: %d attempts failed: %w", retries+1, lastErr)
+	})
+}

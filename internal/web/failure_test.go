@@ -1,0 +1,82 @@
+package web
+
+import (
+	"errors"
+	"testing"
+)
+
+func okFetcher() Fetcher {
+	return FetcherFunc(func(req *Request) (*Response, error) {
+		return HTML(req.URL, "<html><body>ok</body></html>"), nil
+	})
+}
+
+func TestFlakyInjectsDeterministically(t *testing.T) {
+	f := &Flaky{Inner: okFetcher(), FailEvery: 3}
+	failures := 0
+	for i := 0; i < 300; i++ {
+		if _, err := f.Fetch(NewGet("http://h/x")); err != nil {
+			if !errors.Is(err, ErrSimulatedOutage) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			failures++
+		}
+	}
+	if failures == 0 || failures == 300 {
+		t.Fatalf("failures = %d, want a deterministic fraction", failures)
+	}
+	if f.Attempts() != 300 {
+		t.Errorf("attempts = %d", f.Attempts())
+	}
+	// Same sequence → same failures.
+	g := &Flaky{Inner: okFetcher(), FailEvery: 3}
+	failures2 := 0
+	for i := 0; i < 300; i++ {
+		if _, err := g.Fetch(NewGet("http://h/x")); err != nil {
+			failures2++
+		}
+	}
+	if failures != failures2 {
+		t.Errorf("not deterministic: %d vs %d", failures, failures2)
+	}
+}
+
+func TestFlakyDisabled(t *testing.T) {
+	f := &Flaky{Inner: okFetcher()}
+	for i := 0; i < 50; i++ {
+		if _, err := f.Fetch(NewGet("http://h/x")); err != nil {
+			t.Fatalf("disabled flaky failed: %v", err)
+		}
+	}
+}
+
+func TestWithRetryRecovers(t *testing.T) {
+	flaky := &Flaky{Inner: okFetcher(), FailEvery: 2} // ~half of fetches fail
+	f := WithRetry(flaky, 5)
+	for i := 0; i < 100; i++ {
+		if _, err := f.Fetch(NewGet("http://h/x")); err != nil {
+			t.Fatalf("retry did not recover: %v", err)
+		}
+	}
+}
+
+func TestWithRetryGivesUp(t *testing.T) {
+	always := FetcherFunc(func(req *Request) (*Response, error) {
+		return nil, ErrSimulatedOutage
+	})
+	f := WithRetry(always, 2)
+	_, err := f.Fetch(NewGet("http://h/x"))
+	if !errors.Is(err, ErrSimulatedOutage) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWithRetryPassesStatusThrough(t *testing.T) {
+	notFound := FetcherFunc(func(req *Request) (*Response, error) {
+		return NotFound(req.URL), nil
+	})
+	resp, err := WithRetry(notFound, 3).Fetch(NewGet("http://h/x"))
+	if err != nil || resp.Status != 404 {
+		t.Fatalf("404 should pass through unretried: %v %v", resp, err)
+	}
+}

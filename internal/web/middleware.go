@@ -1,0 +1,195 @@
+package web
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats accumulates fetch statistics. It is safe for concurrent use and is
+// how the experiment harness reports the paper's "# of pages" column.
+type Stats struct {
+	pages   atomic.Int64
+	bytes   atomic.Int64
+	virtual atomic.Int64 // accumulated simulated latency, nanoseconds
+	mu      sync.Mutex
+	perHost map[string]int64
+}
+
+// Pages returns the number of successful fetches observed.
+func (s *Stats) Pages() int64 { return s.pages.Load() }
+
+// Bytes returns the total body bytes fetched.
+func (s *Stats) Bytes() int64 { return s.bytes.Load() }
+
+// SimulatedLatency returns the total simulated network latency accumulated
+// by latency fetchers sharing this Stats, whether or not they actually
+// slept.
+func (s *Stats) SimulatedLatency() time.Duration {
+	return time.Duration(s.virtual.Load())
+}
+
+// PerHost returns a copy of the per-host page counts.
+func (s *Stats) PerHost() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.perHost))
+	for h, n := range s.perHost {
+		out[h] = n
+	}
+	return out
+}
+
+func (s *Stats) record(req *Request, resp *Response) {
+	s.pages.Add(1)
+	if resp != nil {
+		s.bytes.Add(int64(len(resp.Body)))
+	}
+	host := hostOf(req.URL)
+	s.mu.Lock()
+	if s.perHost == nil {
+		s.perHost = make(map[string]int64)
+	}
+	s.perHost[host]++
+	s.mu.Unlock()
+}
+
+func hostOf(rawurl string) string {
+	// Cheap host extraction; URLs in the simulator are well-formed.
+	const scheme = "://"
+	i := indexOf(rawurl, scheme)
+	if i < 0 {
+		return rawurl
+	}
+	rest := rawurl[i+len(scheme):]
+	for j := 0; j < len(rest); j++ {
+		if rest[j] == '/' || rest[j] == '?' {
+			return rest[:j]
+		}
+	}
+	return rest
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// Counting wraps inner so that every fetch is recorded in stats.
+func Counting(inner Fetcher, stats *Stats) Fetcher {
+	return FetcherFunc(func(req *Request) (*Response, error) {
+		resp, err := inner.Fetch(req)
+		if err == nil {
+			stats.record(req, resp)
+		}
+		return resp, err
+	})
+}
+
+// LatencyModel describes deterministic simulated network latency:
+// PerRequest is charged per fetch and PerKB per 1024 body bytes. Jitter
+// adds a per-URL deterministic extra in [0, Jitter) derived from a hash of
+// the URL, so runs are reproducible but sites are not uniform.
+type LatencyModel struct {
+	PerRequest time.Duration
+	PerKB      time.Duration
+	Jitter     time.Duration
+	// Sleep controls whether the fetcher actually sleeps (true: elapsed
+	// time in benchmarks reflects the model) or only accounts virtual time
+	// in Stats (false: fast tests).
+	Sleep bool
+}
+
+// Latency returns the deterministic delay the model assigns to a fetch of
+// the given URL returning n body bytes.
+func (m LatencyModel) Latency(rawurl string, n int) time.Duration {
+	d := m.PerRequest + m.PerKB*time.Duration(n/1024)
+	if m.Jitter > 0 {
+		h := fnv.New32a()
+		h.Write([]byte(rawurl))
+		d += time.Duration(uint64(h.Sum32()) % uint64(m.Jitter))
+	}
+	return d
+}
+
+// WithLatency wraps inner with the latency model, accumulating simulated
+// latency into stats (which may be shared with Counting).
+func WithLatency(inner Fetcher, model LatencyModel, stats *Stats) Fetcher {
+	return FetcherFunc(func(req *Request) (*Response, error) {
+		resp, err := inner.Fetch(req)
+		if err != nil {
+			return resp, err
+		}
+		d := model.Latency(req.URL, len(resp.Body))
+		stats.virtual.Add(int64(d))
+		if model.Sleep {
+			time.Sleep(d)
+		}
+		return resp, err
+	})
+}
+
+// Cache is a concurrency-safe page cache keyed by the full request key.
+// The paper's Section 7 observes that caching is one of the techniques
+// needed for acceptable response time when querying many sites.
+type Cache struct {
+	mu      sync.RWMutex
+	entries map[string]*Response
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]*Response)}
+}
+
+// Hits returns the number of cache hits served.
+func (c *Cache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns the number of fetches that went to the network.
+func (c *Cache) Misses() int64 { return c.misses.Load() }
+
+// Len returns the number of cached responses.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Clear empties the cache (e.g. when the map builder detects site change).
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*Response)
+}
+
+// WithCache wraps inner with the cache. Responses are cached by full
+// request key, so identical form submissions hit too — dynamic pages for
+// the same inputs are assumed stable within a query session.
+func WithCache(inner Fetcher, cache *Cache) Fetcher {
+	return FetcherFunc(func(req *Request) (*Response, error) {
+		key := req.Key()
+		cache.mu.RLock()
+		resp, ok := cache.entries[key]
+		cache.mu.RUnlock()
+		if ok {
+			cache.hits.Add(1)
+			return resp, nil
+		}
+		resp, err := inner.Fetch(req)
+		if err != nil {
+			return nil, err
+		}
+		cache.misses.Add(1)
+		cache.mu.Lock()
+		cache.entries[key] = resp
+		cache.mu.Unlock()
+		return resp, nil
+	})
+}

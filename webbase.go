@@ -1,0 +1,118 @@
+// Package webbase is a database system for querying dynamic Web content —
+// a reproduction of Davulcu, Freire, Kifer & Ramakrishnan, "A Layered
+// Architecture for Querying Dynamic Web Content" (SIGMOD 1999).
+//
+// A webbase stacks three layers over the raw Web (Figure 1 of the paper):
+//
+//   - the virtual physical schema (navigation independence): relations
+//     populated by executing navigation expressions — serial-Horn
+//     Transaction F-logic programs that follow links, fill out forms and
+//     extract tuples from data pages;
+//   - the logical layer (site independence): relational-algebra views over
+//     the VPS, evaluated with binding propagation and dependent joins so
+//     that form-mandatory attributes are always supplied;
+//   - the external schema: a structured universal relation — the user
+//     names output attributes and conditions; concept hierarchies and
+//     compatibility rules replace the classical UR's lossless-join
+//     semantics.
+//
+// Quick start:
+//
+//	world := webbase.NewSimulatedWorld()          // the built-in 12-site car Web
+//	wb, err := webbase.New(webbase.Config{Fetcher: world.Server})
+//	res, stats, err := wb.QueryString(
+//	    "SELECT Make, Model, Year, Price, BBPrice " +
+//	    "WHERE Make = 'jaguar' AND Year >= 1993 AND Safety = 'good' " +
+//	    "AND Condition = 'good' AND Price < BBPrice")
+//	fmt.Println(res.Relation, stats)
+//
+// The package re-exports the types needed to use the system; the
+// implementation lives under internal/ (relation, htmlkit, web, sites,
+// flogic, tlogic, navcalc, navmap, mapbuilder, vps, algebra, logical, ur,
+// core).
+package webbase
+
+import (
+	"webbase/internal/apartments"
+	"webbase/internal/core"
+	"webbase/internal/relation"
+	"webbase/internal/sites"
+	"webbase/internal/ur"
+	"webbase/internal/web"
+)
+
+// Core system types.
+type (
+	// System is an assembled three-layer webbase.
+	System = core.Webbase
+	// Config controls webbase assembly.
+	Config = core.Config
+	// QueryStats reports what one query cost.
+	QueryStats = core.QueryStats
+
+	// Query is a universal-relation query: outputs plus conditions.
+	Query = ur.Query
+	// Result is a query's answer with its plan and skipped objects.
+	Result = ur.Result
+
+	// Relation is an in-memory relation (schema + tuples).
+	Relation = relation.Relation
+	// Schema is an ordered attribute list.
+	Schema = relation.Schema
+	// Tuple is one row.
+	Tuple = relation.Tuple
+	// Value is a dynamically typed relational value.
+	Value = relation.Value
+
+	// Fetcher retrieves Web pages; implement it to point the webbase at
+	// your own Web.
+	Fetcher = web.Fetcher
+	// LatencyModel simulates network latency deterministically.
+	LatencyModel = web.LatencyModel
+	// World is the built-in simulated car-shopping Web with its
+	// ground-truth datasets.
+	World = sites.World
+)
+
+// New assembles the standard used-car webbase over cfg.Fetcher.
+func New(cfg Config) (*System, error) { return core.New(cfg) }
+
+// NewSimulatedWorld builds the deterministic 12-site simulated Web the
+// paper's evaluation is reproduced against.
+func NewSimulatedWorld() *World { return sites.BuildWorld() }
+
+// ApartmentWorld is the second application domain's simulated Web
+// (apartment hunting), demonstrating the architecture's domain
+// independence.
+type ApartmentWorld = apartments.World
+
+// NewApartmentWorld builds the apartment-domain simulated Web.
+func NewApartmentWorld() *ApartmentWorld { return apartments.BuildWorld() }
+
+// NewApartments assembles a webbase for the apartment-hunting domain.
+func NewApartments(cfg Config) (*System, error) {
+	return core.NewDomain(cfg, core.Domain{
+		Registry: apartments.Registry,
+		Logical:  apartments.Logical,
+		UR:       apartments.UR,
+	})
+}
+
+// ParseQuery parses the SELECT ... WHERE ... query syntax against a
+// system's universal relation.
+func ParseQuery(sys *System, text string) (Query, error) {
+	return ur.ParseQuery(sys.UR, text)
+}
+
+// Value constructors.
+var (
+	// String wraps a string value.
+	String = relation.String
+	// Int wraps an integer value.
+	Int = relation.Int
+	// Float wraps a float value.
+	Float = relation.Float
+)
+
+// DefaultLatency is the latency model used by the experiment harness.
+var DefaultLatency = core.DefaultLatency

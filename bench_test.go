@@ -171,6 +171,50 @@ func BenchmarkCacheEffect(b *testing.B) {
 	})
 }
 
+// S7c at the query level — one end-to-end query, sequential (Workers=1)
+// vs parallel: union branches, dependent-join handle invocations and
+// maximal objects all fan out under the sleeping latency model. A fresh
+// webbase per iteration keeps the cache cold, so every fetch pays the
+// modeled network; metrics carry the fetches the singleflight saved and
+// how wide the fetch stack actually ran.
+func BenchmarkQuerySequentialVsParallel(b *testing.B) {
+	world := sites.BuildWorld()
+	model := web.LatencyModel{PerRequest: 2 * time.Millisecond, Sleep: true}
+	queries := []struct{ name, q string }{
+		// Eight ad sites fan out wide; the Workers=4 run comes in well
+		// over 2x faster than sequential.
+		{"wide", "SELECT Make, Model, Year, Price, Safety WHERE Make = 'honda' AND Model = 'civic'"},
+		// Both maximal objects race to the same kellys form submissions;
+		// the singleflight absorbs the duplicates (deduped-fetches), at
+		// the cost of a longer sequential tail behind the dependent join.
+		{"bbprice", "SELECT Make, Model, Year, Price, BBPrice WHERE Make = 'ford' AND Model = 'escort' AND Condition = 'good'"},
+	}
+	for _, q := range queries {
+		for _, workers := range []int{1, 4, 8} {
+			workers := workers
+			b.Run(fmt.Sprintf("%s/workers=%d", q.name, workers), func(b *testing.B) {
+				var deduped, peak float64
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					sys, err := webbase.New(webbase.Config{Fetcher: world.Server, Latency: model, Workers: workers})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					_, stats, err := sys.QueryString(q.q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					deduped = float64(stats.Deduped)
+					peak = float64(stats.PeakInFlight)
+				}
+				b.ReportMetric(deduped, "deduped-fetches")
+				b.ReportMetric(peak, "peak-inflight")
+			})
+		}
+	}
+}
+
 // S7d — fetch vs parse split: parsing throughput over the actual site
 // corpus, the cost Section 7 singles out next to fetching.
 func BenchmarkParseVsFetch(b *testing.B) {

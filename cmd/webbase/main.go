@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +31,9 @@ func main() {
 		listAttrs   = flag.Bool("attrs", false, "list the universal relation's attributes and exit")
 		listObjects = flag.Bool("objects", false, "list the maximal objects and exit")
 		domain      = flag.String("domain", "usedcars", "application domain: usedcars or apartments")
+		workers     = flag.Int("workers", 0, "parallel evaluation width (0 = GOMAXPROCS, 1 = sequential)")
+		hostLimit   = flag.Int("hostlimit", 0, "max concurrent fetches per site (0 = default, negative = unlimited)")
+		timeout     = flag.Duration("timeout", 0, "abort the query after this long (0 = no deadline)")
 	)
 	flag.Parse()
 
@@ -38,6 +42,8 @@ func main() {
 		cfg.Latency = webbase.DefaultLatency
 		cfg.Latency.Sleep = true
 	}
+	cfg.Workers = *workers
+	cfg.HostLimit = *hostLimit
 	var (
 		sys *webbase.System
 		err error
@@ -89,7 +95,13 @@ func main() {
 		fmt.Print(out)
 		return
 	}
-	res, stats, err := sys.Query(parsed)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, stats, err := sys.QueryContext(ctx, parsed)
 	if err != nil {
 		fatal(err)
 	}

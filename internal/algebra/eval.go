@@ -1,11 +1,28 @@
 package algebra
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"webbase/internal/relation"
 )
+
+// CatalogContext is optionally implemented by catalogs whose Populate can
+// honor cancellation: catalogs over the VPS thread the context all the way
+// into navigation execution, so a cancelled query stops fetching pages.
+type CatalogContext interface {
+	Catalog
+	PopulateContext(ctx context.Context, name string, inputs map[string]relation.Value) (*relation.Relation, error)
+}
+
+// populate routes through PopulateContext when the catalog supports it.
+func populate(ctx context.Context, cat Catalog, name string, inputs map[string]relation.Value) (*relation.Relation, error) {
+	if cc, ok := cat.(CatalogContext); ok {
+		return cc.PopulateContext(ctx, name, inputs)
+	}
+	return cat.Populate(name, inputs)
+}
 
 // Eval evaluates the expression against the catalog. bound carries the
 // attribute values already known to the evaluator — the constants of
@@ -13,7 +30,26 @@ import (
 // from join partners. Base relations are populated through the catalog
 // with exactly those bindings, which is what lets VPS relations (only
 // accessible with mandatory attributes bound) be evaluated at all.
+//
+// Eval is the sequential entry point; EvalContext adds cancellation and
+// (through the context's Pool) bounded parallel evaluation.
 func Eval(e Expr, cat Catalog, bound map[string]relation.Value) (*relation.Relation, error) {
+	return EvalContext(context.Background(), e, cat, bound)
+}
+
+// EvalContext is Eval with a context. Cancellation is checked before every
+// base-relation access, so a cancelled query issues no further fetches and
+// returns ctx.Err(). When the context carries a Pool (WithPool), union
+// branches and dependent-join handle invocations evaluate concurrently,
+// bounded by the pool; results are merged in expression order, so the
+// answer is identical to the sequential one tuple for tuple. Errors keep
+// the sequential surface: of several failing parallel branches, the
+// leftmost branch's error is reported (sibling branches are not aborted
+// mid-flight, but their results are discarded).
+func EvalContext(ctx context.Context, e Expr, cat Catalog, bound map[string]relation.Value) (*relation.Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if bound == nil {
 		bound = map[string]relation.Value{}
 	}
@@ -29,7 +65,7 @@ func Eval(e Expr, cat Catalog, bound map[string]relation.Value) (*relation.Relat
 				inputs[a] = v
 			}
 		}
-		return cat.Populate(e.Relation, inputs)
+		return populate(ctx, cat, e.Relation, inputs)
 
 	case *Select:
 		sub := bound
@@ -39,7 +75,7 @@ func Eval(e Expr, cat Catalog, bound map[string]relation.Value) (*relation.Relat
 			sub = cloneBound(bound)
 			sub[e.Cond.Attr] = e.Cond.Val
 		}
-		in, err := Eval(e.Input, cat, sub)
+		in, err := EvalContext(ctx, e.Input, cat, sub)
 		if err != nil {
 			return nil, err
 		}
@@ -63,7 +99,7 @@ func Eval(e Expr, cat Catalog, bound map[string]relation.Value) (*relation.Relat
 		}), nil
 
 	case *Project:
-		in, err := Eval(e.Input, cat, bound)
+		in, err := EvalContext(ctx, e.Input, cat, bound)
 		if err != nil {
 			return nil, err
 		}
@@ -84,64 +120,111 @@ func Eval(e Expr, cat Catalog, bound map[string]relation.Value) (*relation.Relat
 				sub[a] = v
 			}
 		}
-		in, err := Eval(e.Input, cat, sub)
+		in, err := EvalContext(ctx, e.Input, cat, sub)
 		if err != nil {
 			return nil, err
 		}
 		return in.Rename(in.Name(), e.Mapping), nil
 
 	case *Union:
-		l, err := Eval(e.Left, cat, bound)
-		if err != nil {
+		// Union chains evaluate as one flat fan-out rather than pairwise
+		// recursion: every leaf re-tries token acquisition when its turn
+		// comes, so tokens freed by fast branches are picked up by later
+		// ones instead of the whole right spine running sequentially.
+		leaves := flattenUnion(e)
+		rels := make([]*relation.Relation, len(leaves))
+		errs := ForEach(ctx, len(leaves), true, func(i int) error {
+			rel, err := EvalContext(ctx, leaves[i], cat, bound)
+			rels[i] = rel
+			return err
+		})
+		if err := firstError(errs); err != nil {
 			return nil, err
 		}
-		r, err := Eval(e.Right, cat, bound)
-		if err != nil {
-			return nil, err
+		acc := rels[0]
+		var err error
+		for _, r := range rels[1:] {
+			if acc, err = acc.Union(r); err != nil {
+				return nil, err
+			}
 		}
-		return l.Union(r)
+		return acc, nil
 
 	case *RelaxedUnion:
 		sch, err := e.Schema(cat)
 		if err != nil {
 			return nil, err
 		}
-		l, lerr := Eval(e.Left, cat, bound)
-		r, rerr := Eval(e.Right, cat, bound)
-		switch {
-		case lerr == nil && rerr == nil:
-			return l.Union(r)
-		case lerr == nil && bindingFailure(rerr):
-			return l, nil
-		case rerr == nil && bindingFailure(lerr):
-			return r, nil
-		case bindingFailure(lerr) && bindingFailure(rerr):
-			// Neither side reachable with these bindings: empty partial
+		// Every branch always evaluates (no short-circuit): a binding
+		// failure on one must not suppress the others' partial answers.
+		// Like Union, chains flatten into one fan-out; the left-fold merge
+		// in leaf order reproduces the pairwise result exactly.
+		leaves := flattenRelaxedUnion(e)
+		rels := make([]*relation.Relation, len(leaves))
+		errs := ForEach(ctx, len(leaves), false, func(i int) error {
+			rel, err := EvalContext(ctx, leaves[i], cat, bound)
+			rels[i] = rel
+			return err
+		})
+		var acc *relation.Relation
+		for i, lerr := range errs {
+			switch {
+			case lerr == nil:
+				if acc == nil {
+					acc = rels[i]
+				} else if acc, err = acc.Union(rels[i]); err != nil {
+					return nil, err
+				}
+			case bindingFailure(lerr):
+				// This branch is unreachable with the current bindings:
+				// drop it, keep the partial answer.
+			default:
+				return nil, lerr
+			}
+		}
+		if acc == nil {
+			// No branch reachable with these bindings: empty partial
 			// answer rather than an error — the relaxed semantics.
 			return relation.New("", sch), nil
-		case lerr != nil:
-			return nil, lerr
-		default:
-			return nil, rerr
 		}
+		return acc, nil
 
 	case *Diff:
-		l, err := Eval(e.Left, cat, bound)
+		l, err := EvalContext(ctx, e.Left, cat, bound)
 		if err != nil {
 			return nil, err
 		}
-		r, err := Eval(e.Right, cat, bound)
+		r, err := EvalContext(ctx, e.Right, cat, bound)
 		if err != nil {
 			return nil, err
 		}
 		return l.Diff(r)
 
 	case *Join:
-		return evalJoin(e, cat, bound)
+		return evalJoin(ctx, e, cat, bound)
 
 	default:
 		return nil, fmt.Errorf("algebra: eval of unknown expression %T", e)
 	}
+}
+
+// flattenUnion returns the leaf expressions of a maximal ∪-subtree in
+// left-to-right order. Union is associative and the evaluator's merge
+// deduplicates in leaf order, so a left fold over the leaves equals the
+// nested pairwise evaluation tuple for tuple.
+func flattenUnion(e Expr) []Expr {
+	if u, ok := e.(*Union); ok {
+		return append(flattenUnion(u.Left), flattenUnion(u.Right)...)
+	}
+	return []Expr{e}
+}
+
+// flattenRelaxedUnion is flattenUnion for ∪ʳ-subtrees.
+func flattenRelaxedUnion(e Expr) []Expr {
+	if u, ok := e.(*RelaxedUnion); ok {
+		return append(flattenRelaxedUnion(u.Left), flattenRelaxedUnion(u.Right)...)
+	}
+	return []Expr{e}
 }
 
 // evalJoin flattens the join tree, orders the operands under the binding
@@ -149,7 +232,7 @@ func Eval(e Expr, cat Catalog, bound map[string]relation.Value) (*relation.Relat
 // as a chain of dependent joins: each operand is populated once per
 // distinct combination of join-attribute values in the accumulated result,
 // those values serving as its inputs.
-func evalJoin(j *Join, cat Catalog, bound map[string]relation.Value) (*relation.Relation, error) {
+func evalJoin(ctx context.Context, j *Join, cat Catalog, bound map[string]relation.Value) (*relation.Relation, error) {
 	exprs := flattenJoin(j)
 	ops := make([]Operand, len(exprs))
 	for i, e := range exprs {
@@ -185,12 +268,12 @@ func evalJoin(j *Join, cat Catalog, bound map[string]relation.Value) (*relation.
 		return nil, err
 	}
 
-	acc, err := Eval(exprs[order[0]], cat, bound)
+	acc, err := EvalContext(ctx, exprs[order[0]], cat, bound)
 	if err != nil {
 		return nil, err
 	}
 	for _, idx := range order[1:] {
-		acc, err = dependentJoin(acc, exprs[idx], ops[idx].Schema, cat, bound)
+		acc, err = dependentJoin(ctx, acc, exprs[idx], ops[idx].Schema, cat, bound)
 		if err != nil {
 			return nil, err
 		}
@@ -200,13 +283,16 @@ func evalJoin(j *Join, cat Catalog, bound map[string]relation.Value) (*relation.
 
 // dependentJoin evaluates next once per distinct combination of shared
 // attributes in acc (sideways information passing) and joins the union of
-// the per-combination results with acc.
-func dependentJoin(acc *relation.Relation, next Expr, nextSchema relation.Schema,
+// the per-combination results with acc. The per-combination invocations
+// are independent handle calls, so they run in parallel when the context
+// carries a pool; the partial results are merged in combination order,
+// keeping the output deterministic.
+func dependentJoin(ctx context.Context, acc *relation.Relation, next Expr, nextSchema relation.Schema,
 	cat Catalog, bound map[string]relation.Value) (*relation.Relation, error) {
 
 	shared := nextSchema.Intersect(acc.Schema())
 	if len(shared) == 0 {
-		r, err := Eval(next, cat, bound)
+		r, err := EvalContext(ctx, next, cat, bound)
 		if err != nil {
 			return nil, err
 		}
@@ -216,23 +302,30 @@ func dependentJoin(acc *relation.Relation, next Expr, nextSchema relation.Schema
 	if err != nil {
 		return nil, err
 	}
-	var merged *relation.Relation
-	for _, combo := range combos.Tuples() {
+	tuples := combos.Tuples()
+	parts := make([]*relation.Relation, len(tuples))
+	errs := ForEach(ctx, len(tuples), true, func(i int) error {
 		inputs := cloneBound(bound)
-		skip := false
-		for i, a := range shared {
-			if combo[i].IsNull() {
-				skip = true // cannot feed a null binding to a form
-				break
+		for k, a := range shared {
+			if tuples[i][k].IsNull() {
+				return nil // cannot feed a null binding to a form; skip
 			}
-			inputs[a] = combo[i]
+			inputs[a] = tuples[i][k]
 		}
-		if skip {
-			continue
-		}
-		part, err := Eval(next, cat, inputs)
+		part, err := EvalContext(ctx, next, cat, inputs)
 		if err != nil {
-			return nil, err
+			return err
+		}
+		parts[i] = part
+		return nil
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	var merged *relation.Relation
+	for _, part := range parts {
+		if part == nil {
+			continue // skipped null-binding combination
 		}
 		if merged == nil {
 			merged = part

@@ -3,6 +3,7 @@ package algebra
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"webbase/internal/relation"
 )
@@ -11,7 +12,11 @@ import (
 // relation holds materialized tuples plus binding sets that emulate VPS
 // access restrictions. Populate refuses to run unless some binding set is
 // covered by the inputs, exactly like a VPS relation behind forms.
+//
+// Once all relations are Added, a MemCatalog is safe for concurrent use —
+// parallel evaluation hits Populate from many goroutines.
 type MemCatalog struct {
+	mu   sync.Mutex // guards populateCount; the rels map is read-only after Add
 	rels map[string]*memRel
 }
 
@@ -68,7 +73,9 @@ func (c *MemCatalog) Populate(name string, inputs map[string]relation.Value) (*r
 	if !ok {
 		return nil, fmt.Errorf("algebra: unknown relation %q", name)
 	}
+	c.mu.Lock()
 	r.populateCount++
+	c.mu.Unlock()
 	if len(r.bindings) > 0 {
 		provided := relation.NewAttrSet()
 		for a, v := range inputs {
@@ -97,6 +104,8 @@ func (c *MemCatalog) Populate(name string, inputs map[string]relation.Value) (*r
 
 // PopulateCount returns how many times the named relation was populated.
 func (c *MemCatalog) PopulateCount(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if r, ok := c.rels[name]; ok {
 		return r.populateCount
 	}

@@ -11,18 +11,23 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 	"time"
 
+	"webbase/internal/algebra"
 	"webbase/internal/logical"
 	"webbase/internal/relation"
 	"webbase/internal/ur"
 	"webbase/internal/vps"
 	"webbase/internal/web"
 )
+
+// DefaultHostLimit is the per-host concurrency cap applied when
+// Config.HostLimit is zero: wide parallel evaluation, polite sites.
+const DefaultHostLimit = 4
 
 // Config controls webbase assembly.
 type Config struct {
@@ -36,11 +41,19 @@ type Config struct {
 	// follows Section 7's observation that caching is needed for
 	// acceptable response times.
 	DisableCache bool
-	// Workers bounds parallel site evaluation; 0 means GOMAXPROCS.
+	// Workers bounds parallel query evaluation: union branches,
+	// dependent-join handle invocations and maximal objects evaluate on
+	// up to Workers goroutines (and PopulateAll sweeps up to Workers
+	// sites at once). 0 means GOMAXPROCS; 1 forces strictly sequential
+	// evaluation, byte-identical to the historical evaluator.
 	Workers int
 	// Retries re-attempts failed page fetches (transport errors only;
 	// webbase navigation is read-only, so retrying is safe). 0 disables.
 	Retries int
+	// HostLimit caps concurrent fetches per site — the politeness bound
+	// that keeps Workers-wide parallelism from hammering one host. 0
+	// applies DefaultHostLimit; negative disables the cap.
+	HostLimit int
 }
 
 // Webbase is an assembled three-layer webbase.
@@ -90,7 +103,21 @@ func NewDomain(cfg Config, d Domain) (*Webbase, error) {
 	if wb.workers <= 0 {
 		wb.workers = runtime.GOMAXPROCS(0)
 	}
+	hostLimit := cfg.HostLimit
+	if hostLimit == 0 {
+		hostLimit = DefaultHostLimit
+	}
 
+	// The middleware stack, outermost first as a fetch traverses it:
+	//
+	//	cache → singleflight → host limiter → latency → counting → retry → raw
+	//
+	// Cache sits outermost so hits bypass everything; singleflight next so
+	// concurrent identical misses collapse to one fetch before anyone
+	// queues for a host slot; the limiter wraps the latency/counting pair
+	// so a fetch holds its host slot for the whole (simulated) network
+	// exchange; retry hugs the raw fetcher so each attempt is an
+	// independent transport try.
 	raw := cfg.Fetcher
 	if cfg.Retries > 0 {
 		raw = web.WithRetry(raw, cfg.Retries)
@@ -99,6 +126,8 @@ func NewDomain(cfg Config, d Domain) (*Webbase, error) {
 	if cfg.Latency != (web.LatencyModel{}) {
 		f = web.WithLatency(f, cfg.Latency, wb.stats)
 	}
+	f = web.WithHostLimit(f, hostLimit, wb.stats)
+	f = web.WithSingleflight(f, wb.stats)
 	if !cfg.DisableCache {
 		wb.cache = web.NewCache()
 		f = web.WithCache(f, wb.cache)
@@ -141,19 +170,40 @@ type QueryStats struct {
 	Elapsed   time.Duration // wall-clock time of the evaluation
 	Simulated time.Duration // simulated network latency accrued
 	CacheHits int64         // pages served from the cache
+	// Deduped counts fetches collapsed onto an identical in-flight
+	// request by the singleflight middleware during this query.
+	Deduped int64
+	// LimiterWait is the total time this query's fetches spent queued
+	// behind the per-host concurrency cap.
+	LimiterWait time.Duration
+	// PeakInFlight is the webbase's high-water mark of concurrently
+	// executing fetches as of the end of this query (a lifetime maximum,
+	// not a per-query delta).
+	PeakInFlight int64
 }
 
 // String renders the stats line the experiment harness prints.
 func (qs *QueryStats) String() string {
-	return fmt.Sprintf("pages=%d bytes=%d elapsed=%v simulated-net=%v cache-hits=%d",
-		qs.Pages, qs.Bytes, qs.Elapsed, qs.Simulated, qs.CacheHits)
+	return fmt.Sprintf("pages=%d bytes=%d elapsed=%v simulated-net=%v cache-hits=%d deduped=%d peak-inflight=%d limiter-wait=%v",
+		qs.Pages, qs.Bytes, qs.Elapsed, qs.Simulated, qs.CacheHits, qs.Deduped, qs.PeakInFlight, qs.LimiterWait)
 }
 
-// Query evaluates a universal relation query end to end.
+// Query evaluates a universal relation query end to end. Evaluation runs
+// on up to Config.Workers goroutines; the answer is identical tuple for
+// tuple to sequential (Workers=1) evaluation.
 func (wb *Webbase) Query(q ur.Query) (*ur.Result, *QueryStats, error) {
+	return wb.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query with cancellation: once ctx is done, evaluation
+// stops issuing page fetches (in-flight fetches complete), every layer
+// unwinds, and ctx.Err() is returned. Use it to put deadlines on queries
+// over slow or hung sites.
+func (wb *Webbase) QueryContext(ctx context.Context, q ur.Query) (*ur.Result, *QueryStats, error) {
 	before := wb.snapshot()
 	start := time.Now()
-	res, err := wb.UR.Eval(q, wb.Logical)
+	ctx = algebra.WithPool(ctx, algebra.NewPool(wb.workers))
+	res, err := wb.UR.EvalContext(ctx, q, wb.Logical)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -163,23 +213,30 @@ func (wb *Webbase) Query(q ur.Query) (*ur.Result, *QueryStats, error) {
 // QueryString parses and evaluates the CLI query syntax
 // (SELECT ... WHERE ...).
 func (wb *Webbase) QueryString(text string) (*ur.Result, *QueryStats, error) {
+	return wb.QueryStringContext(context.Background(), text)
+}
+
+// QueryStringContext is QueryString with cancellation.
+func (wb *Webbase) QueryStringContext(ctx context.Context, text string) (*ur.Result, *QueryStats, error) {
 	q, err := ur.ParseQuery(wb.UR, text)
 	if err != nil {
 		return nil, nil, err
 	}
-	return wb.Query(q)
+	return wb.QueryContext(ctx, q)
 }
 
 type statSnapshot struct {
-	pages, bytes, hits int64
-	simulated          time.Duration
+	pages, bytes, hits, deduped int64
+	simulated, limiterWait      time.Duration
 }
 
 func (wb *Webbase) snapshot() statSnapshot {
 	s := statSnapshot{
-		pages:     wb.stats.Pages(),
-		bytes:     wb.stats.Bytes(),
-		simulated: wb.stats.SimulatedLatency(),
+		pages:       wb.stats.Pages(),
+		bytes:       wb.stats.Bytes(),
+		simulated:   wb.stats.SimulatedLatency(),
+		deduped:     wb.stats.Deduped(),
+		limiterWait: wb.stats.LimiterWait(),
 	}
 	if wb.cache != nil {
 		s.hits = wb.cache.Hits()
@@ -189,10 +246,13 @@ func (wb *Webbase) snapshot() statSnapshot {
 
 func (wb *Webbase) delta(before statSnapshot, elapsed time.Duration) *QueryStats {
 	qs := &QueryStats{
-		Pages:     wb.stats.Pages() - before.pages,
-		Bytes:     wb.stats.Bytes() - before.bytes,
-		Simulated: wb.stats.SimulatedLatency() - before.simulated,
-		Elapsed:   elapsed,
+		Pages:        wb.stats.Pages() - before.pages,
+		Bytes:        wb.stats.Bytes() - before.bytes,
+		Simulated:    wb.stats.SimulatedLatency() - before.simulated,
+		Elapsed:      elapsed,
+		Deduped:      wb.stats.Deduped() - before.deduped,
+		LimiterWait:  wb.stats.LimiterWait() - before.limiterWait,
+		PeakInFlight: wb.stats.PeakInFlight(),
 	}
 	if wb.cache != nil {
 		qs.CacheHits = wb.cache.Hits() - before.hits
@@ -213,22 +273,33 @@ type SiteResult struct {
 // finds "crucial for obtaining acceptable response times". Results arrive
 // keyed and sorted by relation name; per-site errors are reported in the
 // results rather than aborting the sweep.
+//
+// Workers write into indexed slots and the final ordering is a stable
+// sort, so the output sequence is deterministic even when the input lists
+// a relation more than once — the same slot-then-deterministic-merge
+// pattern the parallel union evaluator uses.
 func (wb *Webbase) PopulateAll(relations []string, inputs map[string]relation.Value) []SiteResult {
+	return wb.PopulateAllContext(context.Background(), relations, inputs)
+}
+
+// PopulateAllContext is PopulateAll with cancellation: sites not yet
+// started when ctx is done report ctx.Err() in their SiteResult, and
+// running navigations abort at their next page load.
+func (wb *Webbase) PopulateAllContext(ctx context.Context, relations []string, inputs map[string]relation.Value) []SiteResult {
 	results := make([]SiteResult, len(relations))
-	sem := make(chan struct{}, wb.workers)
-	var wg sync.WaitGroup
-	for i, name := range relations {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rel, _, err := wb.Registry.Populate(wb.fetcher, name, inputs)
-			results[i] = SiteResult{Relation: name, Rel: rel, Err: err}
-		}(i, name)
+	sweepCtx := algebra.WithPool(ctx, algebra.NewPool(wb.workers))
+	errs := algebra.ForEach(sweepCtx, len(relations), false, func(i int) error {
+		name := relations[i]
+		rel, _, err := wb.Registry.PopulateContext(ctx, wb.fetcher, name, inputs)
+		results[i] = SiteResult{Relation: name, Rel: rel, Err: err}
+		return nil
+	})
+	for i, err := range errs {
+		if err != nil { // slot skipped because ctx was already done
+			results[i] = SiteResult{Relation: relations[i], Err: err}
+		}
 	}
-	wg.Wait()
-	sort.Slice(results, func(i, j int) bool { return results[i].Relation < results[j].Relation })
+	sortSiteResults(results)
 	return results
 }
 
@@ -240,6 +311,13 @@ func (wb *Webbase) PopulateSequential(relations []string, inputs map[string]rela
 		rel, _, err := wb.Registry.Populate(wb.fetcher, name, inputs)
 		results[i] = SiteResult{Relation: name, Rel: rel, Err: err}
 	}
-	sort.Slice(results, func(i, j int) bool { return results[i].Relation < results[j].Relation })
+	sortSiteResults(results)
 	return results
+}
+
+// sortSiteResults orders sweep results by relation name, stably: inputs
+// naming the same relation twice keep their submission order instead of
+// landing in whichever order the unstable sort's pivoting produced.
+func sortSiteResults(results []SiteResult) {
+	sort.SliceStable(results, func(i, j int) bool { return results[i].Relation < results[j].Relation })
 }

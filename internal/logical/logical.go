@@ -8,6 +8,7 @@
 package logical
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -44,7 +45,13 @@ func (c *VPSCatalog) Bindings(name string) ([]relation.AttrSet, error) {
 // Populate implements algebra.Catalog by executing the relation's
 // navigation expression against the Web.
 func (c *VPSCatalog) Populate(name string, inputs map[string]relation.Value) (*relation.Relation, error) {
-	rel, _, err := c.Registry.Populate(c.Fetcher, name, inputs)
+	return c.PopulateContext(context.Background(), name, inputs)
+}
+
+// PopulateContext implements algebra.CatalogContext: the context reaches
+// navigation execution, so cancellation stops page fetches.
+func (c *VPSCatalog) PopulateContext(ctx context.Context, name string, inputs map[string]relation.Value) (*relation.Relation, error) {
+	rel, _, err := c.Registry.PopulateContext(ctx, c.Fetcher, name, inputs)
 	if err != nil {
 		if errors.Is(err, vps.ErrNoUsableHandle) {
 			return nil, fmt.Errorf("%w: %v", algebra.ErrBindingUnsatisfied, err)
@@ -54,7 +61,7 @@ func (c *VPSCatalog) Populate(name string, inputs map[string]relation.Value) (*r
 	return rel, nil
 }
 
-var _ algebra.Catalog = (*VPSCatalog)(nil)
+var _ algebra.CatalogContext = (*VPSCatalog)(nil)
 
 // View is one logical relation: a named algebra expression over VPS
 // relations (a row of Table 2).
@@ -145,11 +152,19 @@ func (c *Catalog) Bindings(name string) ([]relation.AttrSet, error) {
 // over the base catalog with the inputs as bound values, then restricting
 // the result to tuples matching the inputs.
 func (c *Catalog) Populate(name string, inputs map[string]relation.Value) (*relation.Relation, error) {
+	return c.PopulateContext(context.Background(), name, inputs)
+}
+
+// PopulateContext implements algebra.CatalogContext, forwarding the
+// context (with any worker pool it carries) into the view's evaluation —
+// a view whose definition unions several sites evaluates those sites
+// concurrently under the query's pool.
+func (c *Catalog) PopulateContext(ctx context.Context, name string, inputs map[string]relation.Value) (*relation.Relation, error) {
 	v, ok := c.views[name]
 	if !ok {
 		return nil, fmt.Errorf("logical: unknown relation %q", name)
 	}
-	rel, err := algebra.Eval(v.Def, c.base, inputs)
+	rel, err := algebra.EvalContext(ctx, v.Def, c.base, inputs)
 	if err != nil {
 		return nil, fmt.Errorf("logical: populating %s: %w", name, err)
 	}
@@ -168,4 +183,4 @@ func (c *Catalog) Populate(name string, inputs map[string]relation.Value) (*rela
 	}), nil
 }
 
-var _ algebra.Catalog = (*Catalog)(nil)
+var _ algebra.CatalogContext = (*Catalog)(nil)

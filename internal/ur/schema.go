@@ -1,11 +1,11 @@
 package ur
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"webbase/internal/algebra"
 	"webbase/internal/relation"
@@ -274,35 +274,38 @@ type Result struct {
 }
 
 // Eval plans and evaluates the query against the logical catalog, taking
-// the union of the qualifying maximal objects' answers. The objects are
-// independent and evaluate concurrently (each navigates different site
-// combinations; the fetch stack is concurrency-safe). Objects that fail
+// the union of the qualifying maximal objects' answers. Objects that fail
 // on binding grounds are skipped and reported; any other failure aborts.
 func (s *Schema) Eval(q Query, cat algebra.Catalog) (*Result, error) {
+	return s.EvalContext(context.Background(), q, cat)
+}
+
+// EvalContext is Eval with cancellation and bounded parallelism. The
+// maximal objects are independent (each navigates different site
+// combinations; the fetch stack is concurrency-safe), so they evaluate
+// concurrently under the worker pool the context carries (algebra.WithPool);
+// without a pool they evaluate sequentially. Per-object answers are
+// written into indexed slots and unioned in plan order, so the result is
+// identical tuple for tuple regardless of scheduling. Cancelling ctx
+// stops further page fetches and surfaces ctx.Err().
+func (s *Schema) EvalContext(ctx context.Context, q Query, cat algebra.Catalog) (*Result, error) {
 	plan, err := s.Plan(q)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Plan: plan}
-	type objResult struct {
-		rel *relation.Relation
-		err error
-	}
-	results := make([]objResult, len(plan.Objects))
-	var wg sync.WaitGroup
+	rels := make([]*relation.Relation, len(plan.Objects))
+	// Every object evaluates even when a sibling fails: binding-failure
+	// errors must not abort the other objects' partial answers.
+	errs := algebra.ForEach(ctx, len(plan.Objects), false, func(i int) error {
+		// The paper: "once translated, these queries can be optimized
+		// and evaluated by standard query evaluation techniques."
+		rel, err := algebra.EvalContext(ctx, algebra.Optimize(plan.Objects[i].Expr, cat), cat, nil)
+		rels[i] = rel
+		return err
+	})
 	for i, obj := range plan.Objects {
-		wg.Add(1)
-		go func(i int, obj PlanObject) {
-			defer wg.Done()
-			// The paper: "once translated, these queries can be optimized
-			// and evaluated by standard query evaluation techniques."
-			rel, err := algebra.Eval(algebra.Optimize(obj.Expr, cat), cat, nil)
-			results[i] = objResult{rel: rel, err: err}
-		}(i, obj)
-	}
-	wg.Wait()
-	for i, obj := range plan.Objects {
-		rel, err := results[i].rel, results[i].err
+		rel, err := rels[i], errs[i]
 		if err != nil {
 			if isBindingFailure(err) {
 				res.Skipped = append(res.Skipped,

@@ -15,6 +15,7 @@
 package vps
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -197,6 +198,13 @@ func (r *Registry) ChooseHandle(name string, inputs map[string]relation.Value) (
 // so the result is post-filtered: every returned tuple satisfies
 // tuple[a] = inputs[a] for each input attribute a in the schema.
 func (r *Registry) Populate(f web.Fetcher, name string, inputs map[string]relation.Value) (*relation.Relation, *navcalc.ExecInfo, error) {
+	return r.PopulateContext(context.Background(), f, name, inputs)
+}
+
+// PopulateContext is Populate with cancellation: the handle's navigation
+// aborts at the next page load once ctx is done, so a cancelled query
+// stops fetching promptly instead of finishing the site.
+func (r *Registry) PopulateContext(ctx context.Context, f web.Fetcher, name string, inputs map[string]relation.Value) (*relation.Relation, *navcalc.ExecInfo, error) {
 	h, err := r.ChooseHandle(name, inputs)
 	if err != nil {
 		return nil, nil, err
@@ -207,7 +215,7 @@ func (r *Registry) Populate(f web.Fetcher, name string, inputs map[string]relati
 			strInputs[a] = v.String()
 		}
 	}
-	rel, info, err := h.Expr.Execute(f, strInputs)
+	rel, info, err := h.Expr.ExecuteContext(ctx, f, strInputs)
 	if err != nil {
 		return nil, nil, fmt.Errorf("vps: populating %s: %w", name, err)
 	}

@@ -1,0 +1,97 @@
+package web
+
+import (
+	"sync"
+	"time"
+)
+
+// This file holds the middlewares that make the fetch stack safe and
+// efficient under parallel query evaluation: WithSingleflight collapses
+// identical concurrent requests (Benedikt & Gottlob's "determining
+// relevance of accesses at runtime" — don't repeat an access another
+// branch is already performing), and WithHostLimit caps per-host
+// concurrency so parallel union branches never hammer one site.
+
+// WithSingleflight wraps inner so that concurrent fetches of the same
+// request (same canonical Key) execute inner.Fetch once and share the
+// answer. Union branches and dependent-join invocations frequently land
+// on the same form submission at the same moment; without deduplication
+// they would all miss the cache simultaneously and fetch redundantly.
+// Followers are counted in stats.Deduped. The shared *Response is treated
+// as immutable by the whole stack (the cache already shares responses).
+func WithSingleflight(inner Fetcher, stats *Stats) Fetcher {
+	type call struct {
+		done chan struct{}
+		resp *Response
+		err  error
+	}
+	var mu sync.Mutex
+	calls := make(map[string]*call)
+	return FetcherFunc(func(req *Request) (*Response, error) {
+		key := req.Key()
+		mu.Lock()
+		if c, ok := calls[key]; ok {
+			mu.Unlock()
+			<-c.done
+			if stats != nil {
+				stats.deduped.Add(1)
+			}
+			return c.resp, c.err
+		}
+		c := &call{done: make(chan struct{})}
+		calls[key] = c
+		mu.Unlock()
+
+		c.resp, c.err = inner.Fetch(req)
+
+		mu.Lock()
+		delete(calls, key)
+		mu.Unlock()
+		close(c.done)
+		return c.resp, c.err
+	})
+}
+
+// WithHostLimit wraps inner with a per-host concurrency cap: at most
+// perHost fetches execute against any one host at a time; excess fetches
+// queue. This is the politeness guarantee that lets query evaluation run
+// wide without turning the webbase into a load test of somebody's server.
+// Waiting time accumulates in stats.LimiterWait and the global in-flight
+// high-water mark in stats.PeakInFlight. perHost <= 0 disables the cap
+// (inner is returned unwrapped).
+//
+// Fetches never hold one host's slot while waiting for another's, so the
+// limiter cannot deadlock.
+func WithHostLimit(inner Fetcher, perHost int, stats *Stats) Fetcher {
+	if perHost <= 0 {
+		return inner
+	}
+	var mu sync.Mutex
+	slots := make(map[string]chan struct{})
+	return FetcherFunc(func(req *Request) (*Response, error) {
+		host := hostOf(req.URL)
+		mu.Lock()
+		sem, ok := slots[host]
+		if !ok {
+			sem = make(chan struct{}, perHost)
+			slots[host] = sem
+		}
+		mu.Unlock()
+
+		start := time.Now()
+		sem <- struct{}{}
+		defer func() { <-sem }()
+		if stats != nil {
+			stats.limiterWait.Add(int64(time.Since(start)))
+			in := stats.inflight.Add(1)
+			for {
+				peak := stats.peakInflight.Load()
+				if in <= peak || stats.peakInflight.CompareAndSwap(peak, in) {
+					break
+				}
+			}
+			defer stats.inflight.Add(-1)
+		}
+		return inner.Fetch(req)
+	})
+}

@@ -13,8 +13,14 @@ type Stats struct {
 	pages   atomic.Int64
 	bytes   atomic.Int64
 	virtual atomic.Int64 // accumulated simulated latency, nanoseconds
-	mu      sync.Mutex
-	perHost map[string]int64
+	// Concurrency counters, maintained by WithSingleflight and
+	// WithHostLimit.
+	deduped      atomic.Int64
+	inflight     atomic.Int64
+	peakInflight atomic.Int64
+	limiterWait  atomic.Int64 // accumulated time spent waiting for host slots, ns
+	mu           sync.Mutex
+	perHost      map[string]int64
 }
 
 // Pages returns the number of successful fetches observed.
@@ -28,6 +34,22 @@ func (s *Stats) Bytes() int64 { return s.bytes.Load() }
 // slept.
 func (s *Stats) SimulatedLatency() time.Duration {
 	return time.Duration(s.virtual.Load())
+}
+
+// Deduped returns how many fetches were collapsed onto an identical
+// in-flight request by WithSingleflight (each counted fetch got its answer
+// without touching the network).
+func (s *Stats) Deduped() int64 { return s.deduped.Load() }
+
+// PeakInFlight returns the high-water mark of concurrently executing
+// fetches observed by WithHostLimit — how parallel the fetch stack
+// actually ran.
+func (s *Stats) PeakInFlight() int64 { return s.peakInflight.Load() }
+
+// LimiterWait returns the total time fetches spent queued behind the
+// per-host concurrency cap of WithHostLimit.
+func (s *Stats) LimiterWait() time.Duration {
+	return time.Duration(s.limiterWait.Load())
 }
 
 // PerHost returns a copy of the per-host page counts.
@@ -54,6 +76,10 @@ func (s *Stats) record(req *Request, resp *Response) {
 	s.perHost[host]++
 	s.mu.Unlock()
 }
+
+// HostOf returns the host part of a URL as the per-host statistics and
+// the host limiter see it.
+func HostOf(rawurl string) string { return hostOf(rawurl) }
 
 func hostOf(rawurl string) string {
 	// Cheap host extraction; URLs in the simulator are well-formed.

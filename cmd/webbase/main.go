@@ -4,8 +4,11 @@
 // Usage:
 //
 //	webbase [-plan] [-stats] [-latency] "SELECT Make, Price WHERE Make = 'jaguar' AND Price < BBPrice AND Condition = 'good'"
-//	webbase -attrs          # list the universal relation's attributes
-//	webbase -objects        # list the maximal objects
+//	webbase -attrs            # list the universal relation's attributes
+//	webbase -objects          # list the maximal objects
+//	webbase -explain-analyze "SELECT ..."   # run and print actual per-operator costs
+//	webbase -trace out.json  "SELECT ..."   # run and export the span tree as JSON
+//	webbase -metrics         "SELECT ..."   # print the metrics snapshot afterwards
 //
 // The query language is the structured universal relation interface of
 // Section 6: name output attributes, constrain others; the system figures
@@ -34,6 +37,9 @@ func main() {
 		workers     = flag.Int("workers", 0, "parallel evaluation width (0 = GOMAXPROCS, 1 = sequential)")
 		hostLimit   = flag.Int("hostlimit", 0, "max concurrent fetches per site (0 = default, negative = unlimited)")
 		timeout     = flag.Duration("timeout", 0, "abort the query after this long (0 = no deadline)")
+		analyze     = flag.Bool("explain-analyze", false, "run the query and print the plan annotated with actual per-operator costs")
+		traceFile   = flag.String("trace", "", "run the query traced and write the span tree as JSON to this file")
+		showMetrics = flag.Bool("metrics", false, "print the webbase metrics snapshot after the query")
 	)
 	flag.Parse()
 
@@ -101,9 +107,39 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, stats, err := sys.QueryContext(ctx, parsed)
+	if *analyze {
+		out, err := sys.ExplainAnalyzeContext(ctx, parsed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		if *showMetrics {
+			fmt.Print(sys.Metrics().Snapshot())
+		}
+		return
+	}
+	var (
+		res   *webbase.Result
+		stats *webbase.QueryStats
+		tr    *webbase.Trace
+	)
+	if *traceFile != "" {
+		res, stats, tr, err = sys.QueryTraced(ctx, parsed)
+	} else {
+		res, stats, err = sys.QueryContext(ctx, parsed)
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if tr != nil {
+		data, err := tr.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*traceFile, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "webbase: trace written to %s\n", *traceFile)
 	}
 	if *showPlan {
 		fmt.Println(res.Plan)
@@ -119,6 +155,9 @@ func main() {
 	}
 	if *showStats {
 		fmt.Println(stats)
+	}
+	if *showMetrics {
+		fmt.Print(sys.Metrics().Snapshot())
 	}
 }
 

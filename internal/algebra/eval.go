@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 
 	"webbase/internal/relation"
+	"webbase/internal/trace"
 )
 
 // CatalogContext is optionally implemented by catalogs whose Populate can
@@ -47,6 +49,81 @@ func Eval(e Expr, cat Catalog, bound map[string]relation.Value) (*relation.Relat
 // leftmost branch's error is reported (sibling branches are not aborted
 // mid-flight, but their results are discarded).
 func EvalContext(ctx context.Context, e Expr, cat Catalog, bound map[string]relation.Value) (*relation.Relation, error) {
+	return evalSpanned(ctx, trace.Start(ctx, trace.KindOp, opLabel(e)), e, cat, bound)
+}
+
+// opLabel names an operator span: the operator symbol plus its own
+// arguments, without recursing into inputs (the tree shape carries those).
+func opLabel(e Expr) string {
+	switch e := e.(type) {
+	case *Scan:
+		return e.Relation
+	case *Select:
+		return "σ[" + e.Cond.String() + "]"
+	case *Project:
+		return "π[" + strings.Join(e.Attrs, ", ") + "]"
+	case *Rename:
+		pairs := make([]string, 0, len(e.Mapping))
+		for o, n := range e.Mapping {
+			pairs = append(pairs, o+"→"+n)
+		}
+		sortStrings(pairs)
+		return "ρ[" + strings.Join(pairs, ", ") + "]"
+	case *Union:
+		return "∪"
+	case *RelaxedUnion:
+		return "∪ʳ"
+	case *Diff:
+		return "−"
+	case *Join:
+		return "⋈"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// opSpans pre-creates one operator span per branch of a parallel fan-out,
+// in branch order, before any branch is dispatched — the discipline that
+// keeps trace structure deterministic under parallel evaluation. Returns
+// nil (all no-op spans) when the context carries no trace.
+func opSpans(ctx context.Context, exprs []Expr) []*trace.Span {
+	if trace.FromContext(ctx) == nil {
+		return nil
+	}
+	sps := make([]*trace.Span, len(exprs))
+	for i, e := range exprs {
+		sps[i] = trace.Start(ctx, trace.KindOp, opLabel(e))
+	}
+	return sps
+}
+
+func spanAt(sps []*trace.Span, i int) *trace.Span {
+	if sps == nil {
+		return nil
+	}
+	return sps[i]
+}
+
+// evalSpanned evaluates e under an already-created span (possibly nil),
+// recording the output cardinality and any error on it.
+func evalSpanned(ctx context.Context, sp *trace.Span, e Expr, cat Catalog, bound map[string]relation.Value) (out *relation.Relation, err error) {
+	if sp != nil {
+		ctx = trace.ContextWith(ctx, sp)
+		defer func() {
+			if out != nil {
+				sp.Set("tuples", int64(out.Len()))
+			}
+			sp.EndErr(err)
+		}()
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -133,8 +210,9 @@ func EvalContext(ctx context.Context, e Expr, cat Catalog, bound map[string]rela
 		// ones instead of the whole right spine running sequentially.
 		leaves := flattenUnion(e)
 		rels := make([]*relation.Relation, len(leaves))
+		sps := opSpans(ctx, leaves)
 		errs := ForEach(ctx, len(leaves), true, func(i int) error {
-			rel, err := EvalContext(ctx, leaves[i], cat, bound)
+			rel, err := evalSpanned(ctx, spanAt(sps, i), leaves[i], cat, bound)
 			rels[i] = rel
 			return err
 		})
@@ -161,8 +239,9 @@ func EvalContext(ctx context.Context, e Expr, cat Catalog, bound map[string]rela
 		// in leaf order reproduces the pairwise result exactly.
 		leaves := flattenRelaxedUnion(e)
 		rels := make([]*relation.Relation, len(leaves))
+		sps := opSpans(ctx, leaves)
 		errs := ForEach(ctx, len(leaves), false, func(i int) error {
-			rel, err := EvalContext(ctx, leaves[i], cat, bound)
+			rel, err := evalSpanned(ctx, spanAt(sps, i), leaves[i], cat, bound)
 			rels[i] = rel
 			return err
 		})
@@ -304,19 +383,40 @@ func dependentJoin(ctx context.Context, acc *relation.Relation, next Expr, nextS
 	}
 	tuples := combos.Tuples()
 	parts := make([]*relation.Relation, len(tuples))
+	// One invoke span per combination, pre-created in combination order
+	// (tuple order is deterministic, so span order is too). All combinations
+	// share one name; the rendered plan aggregates them into invocations=N.
+	var sps []*trace.Span
+	if trace.FromContext(ctx) != nil {
+		name := "invoke {" + strings.Join(shared, ", ") + "} → " + opLabel(next)
+		sps = make([]*trace.Span, len(tuples))
+		for i := range tuples {
+			sps[i] = trace.Start(ctx, trace.KindInvoke, name)
+		}
+	}
 	errs := ForEach(ctx, len(tuples), true, func(i int) error {
+		sp := spanAt(sps, i)
+		ictx := ctx
+		if sp != nil {
+			ictx = trace.ContextWith(ctx, sp)
+		}
 		inputs := cloneBound(bound)
 		for k, a := range shared {
 			if tuples[i][k].IsNull() {
+				sp.Set("skipped", 1)
+				sp.End()
 				return nil // cannot feed a null binding to a form; skip
 			}
 			inputs[a] = tuples[i][k]
 		}
-		part, err := EvalContext(ctx, next, cat, inputs)
+		part, err := EvalContext(ictx, next, cat, inputs)
 		if err != nil {
+			sp.EndErr(err)
 			return err
 		}
 		parts[i] = part
+		sp.Set("tuples", int64(part.Len()))
+		sp.End()
 		return nil
 	})
 	if err := firstError(errs); err != nil {

@@ -20,6 +20,7 @@ import (
 	"webbase/internal/algebra"
 	"webbase/internal/logical"
 	"webbase/internal/relation"
+	"webbase/internal/trace"
 	"webbase/internal/ur"
 	"webbase/internal/vps"
 	"webbase/internal/web"
@@ -54,6 +55,10 @@ type Config struct {
 	// that keeps Workers-wide parallelism from hammering one host. 0
 	// applies DefaultHostLimit; negative disables the cap.
 	HostLimit int
+	// Clock supplies timestamps for trace spans and query timing. nil
+	// means time.Now; tests inject a fake clock to make every rendered
+	// timing reproducible.
+	Clock func() time.Time
 }
 
 // Webbase is an assembled three-layer webbase.
@@ -66,6 +71,8 @@ type Webbase struct {
 	stats   *web.Stats
 	cache   *web.Cache
 	workers int
+	clock   func() time.Time
+	metrics *trace.Registry
 }
 
 // Domain describes how to assemble the three layers of one application
@@ -99,7 +106,8 @@ func NewDomain(cfg Config, d Domain) (*Webbase, error) {
 	if cfg.Fetcher == nil {
 		return nil, fmt.Errorf("core: Config.Fetcher is required")
 	}
-	wb := &Webbase{stats: &web.Stats{}, workers: cfg.Workers}
+	wb := &Webbase{stats: &web.Stats{}, workers: cfg.Workers,
+		clock: cfg.Clock, metrics: trace.NewRegistry()}
 	if wb.workers <= 0 {
 		wb.workers = runtime.GOMAXPROCS(0)
 	}
@@ -120,7 +128,7 @@ func NewDomain(cfg Config, d Domain) (*Webbase, error) {
 	// independent transport try.
 	raw := cfg.Fetcher
 	if cfg.Retries > 0 {
-		raw = web.WithRetry(raw, cfg.Retries)
+		raw = web.WithRetry(raw, cfg.Retries, wb.stats)
 	}
 	f := web.Counting(raw, wb.stats)
 	if cfg.Latency != (web.LatencyModel{}) {
@@ -163,6 +171,18 @@ func (wb *Webbase) Cache() *web.Cache { return wb.cache }
 // Fetcher returns the fully wrapped fetcher the webbase navigates with.
 func (wb *Webbase) Fetcher() web.Fetcher { return wb.fetcher }
 
+// Metrics exposes the webbase's metrics registry: counters, gauges and
+// histograms aggregated across every query this webbase has run.
+func (wb *Webbase) Metrics() *trace.Registry { return wb.metrics }
+
+// now reads the webbase clock (time.Now unless Config.Clock was injected).
+func (wb *Webbase) now() time.Time {
+	if wb.clock != nil {
+		return wb.clock()
+	}
+	return time.Now()
+}
+
 // QueryStats reports what one query cost.
 type QueryStats struct {
 	Pages     int64         // pages fetched from sites (cache misses)
@@ -180,12 +200,15 @@ type QueryStats struct {
 	// executing fetches as of the end of this query (a lifetime maximum,
 	// not a per-query delta).
 	PeakInFlight int64
+	// Retries counts re-issued fetch attempts (transport failures retried
+	// by the retry middleware) during this query.
+	Retries int64
 }
 
 // String renders the stats line the experiment harness prints.
 func (qs *QueryStats) String() string {
-	return fmt.Sprintf("pages=%d bytes=%d elapsed=%v simulated-net=%v cache-hits=%d deduped=%d peak-inflight=%d limiter-wait=%v",
-		qs.Pages, qs.Bytes, qs.Elapsed, qs.Simulated, qs.CacheHits, qs.Deduped, qs.PeakInFlight, qs.LimiterWait)
+	return fmt.Sprintf("pages=%d bytes=%d elapsed=%v simulated-net=%v cache-hits=%d deduped=%d retries=%d peak-inflight=%d limiter-wait=%v",
+		qs.Pages, qs.Bytes, qs.Elapsed, qs.Simulated, qs.CacheHits, qs.Deduped, qs.Retries, qs.PeakInFlight, qs.LimiterWait)
 }
 
 // Query evaluates a universal relation query end to end. Evaluation runs
@@ -200,14 +223,58 @@ func (wb *Webbase) Query(q ur.Query) (*ur.Result, *QueryStats, error) {
 // unwinds, and ctx.Err() is returned. Use it to put deadlines on queries
 // over slow or hung sites.
 func (wb *Webbase) QueryContext(ctx context.Context, q ur.Query) (*ur.Result, *QueryStats, error) {
+	return wb.run(ctx, q)
+}
+
+// QueryTraced is QueryContext with execution tracing: the returned trace
+// holds one span per maximal object, algebra operator, dependent-join
+// invocation, handle execution and page fetch, annotated with actual
+// cardinalities and costs. The trace is returned even when the query
+// fails — a failed query's accesses are exactly what one wants to see.
+// Pass the trace to ExplainAnalyze for the rendered plan, or Export it as
+// JSON. Tracing adds spans but never changes the answer: the result is
+// tuple-for-tuple identical to QueryContext's.
+func (wb *Webbase) QueryTraced(ctx context.Context, q ur.Query) (*ur.Result, *QueryStats, *trace.Trace, error) {
+	tr := trace.New(q.String(), wb.clock)
+	res, qs, err := wb.run(trace.ContextWith(ctx, tr.Root), q)
+	if err != nil {
+		tr.Root.EndErr(err)
+		return nil, nil, tr, err
+	}
+	tr.Root.Set("tuples", int64(res.Relation.Len()))
+	tr.Root.End()
+	return res, qs, tr, nil
+}
+
+// run is the common evaluation path of Query, QueryContext and
+// QueryTraced: per-query stats delta, bounded worker pool, metrics
+// observation.
+func (wb *Webbase) run(ctx context.Context, q ur.Query) (*ur.Result, *QueryStats, error) {
 	before := wb.snapshot()
-	start := time.Now()
+	start := wb.now()
 	ctx = algebra.WithPool(ctx, algebra.NewPool(wb.workers))
 	res, err := wb.UR.EvalContext(ctx, q, wb.Logical)
 	if err != nil {
+		wb.metrics.Counter("queries_failed_total").Add(1)
 		return nil, nil, err
 	}
-	return res, wb.delta(before, time.Since(start)), nil
+	qs := wb.delta(before, wb.now().Sub(start))
+	wb.observe(qs)
+	return res, qs, nil
+}
+
+// observe folds one query's stats into the webbase-lifetime metrics.
+func (wb *Webbase) observe(qs *QueryStats) {
+	m := wb.metrics
+	m.Counter("queries_total").Add(1)
+	m.Counter("pages_fetched_total").Add(qs.Pages)
+	m.Counter("bytes_fetched_total").Add(qs.Bytes)
+	m.Counter("cache_hits_total").Add(qs.CacheHits)
+	m.Counter("deduped_total").Add(qs.Deduped)
+	m.Counter("retries_total").Add(qs.Retries)
+	m.Gauge("peak_inflight").SetMax(qs.PeakInFlight)
+	m.Histogram("query_elapsed_seconds", 0.001, 0.01, 0.1, 1, 10).Observe(qs.Elapsed.Seconds())
+	m.Histogram("query_pages", 1, 5, 10, 50, 100, 500).Observe(float64(qs.Pages))
 }
 
 // QueryString parses and evaluates the CLI query syntax
@@ -226,8 +293,8 @@ func (wb *Webbase) QueryStringContext(ctx context.Context, text string) (*ur.Res
 }
 
 type statSnapshot struct {
-	pages, bytes, hits, deduped int64
-	simulated, limiterWait      time.Duration
+	pages, bytes, hits, deduped, retries int64
+	simulated, limiterWait               time.Duration
 }
 
 func (wb *Webbase) snapshot() statSnapshot {
@@ -236,6 +303,7 @@ func (wb *Webbase) snapshot() statSnapshot {
 		bytes:       wb.stats.Bytes(),
 		simulated:   wb.stats.SimulatedLatency(),
 		deduped:     wb.stats.Deduped(),
+		retries:     wb.stats.Retries(),
 		limiterWait: wb.stats.LimiterWait(),
 	}
 	if wb.cache != nil {
@@ -251,6 +319,7 @@ func (wb *Webbase) delta(before statSnapshot, elapsed time.Duration) *QueryStats
 		Simulated:    wb.stats.SimulatedLatency() - before.simulated,
 		Elapsed:      elapsed,
 		Deduped:      wb.stats.Deduped() - before.deduped,
+		Retries:      wb.stats.Retries() - before.retries,
 		LimiterWait:  wb.stats.LimiterWait() - before.limiterWait,
 		PeakInFlight: wb.stats.PeakInFlight(),
 	}

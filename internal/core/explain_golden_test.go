@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"webbase/internal/apartments"
+	"webbase/internal/sites"
+	"webbase/internal/ur"
+)
+
+// The golden tests lock down the static Explain rendering for both
+// application domains: the planner's object choice, the optimized
+// expressions, the binding sets, and the handle quadruples. Any change to
+// planning, optimization or handle registration shows up here as a diff.
+
+const goldenCarsExplain = `query: SELECT Make, Model, Year, Price, BBPrice, Contact WHERE Make = jaguar AND Year ≥ 1993 AND Safety = good AND Condition = good AND Price < BBPrice
+universal relation: UsedCarUR (13 attributes, 2 maximal objects)
+
+object 1: {BluePrice, Classifieds, Interest, Reviews, Safety}
+  minimal cover: BluePrice ⋈ Classifieds ⋈ Safety
+  expression:    π[Make, Model, Year, Price, BBPrice, Contact]((σ[Price < BBPrice]((σ[Year ≥ 1993](σ[Condition = good](σ[Make = jaguar](bluePrice))) ⋈ σ[Make = jaguar](classifieds))) ⋈ σ[Safety = good](σ[Make = jaguar](reliability))))
+
+object 2: {BluePrice, Dealers, Interest, Reviews, Safety}
+  minimal cover: BluePrice ⋈ Dealers ⋈ Safety
+  expression:    π[Make, Model, Year, Price, BBPrice, Contact]((σ[Price < BBPrice]((σ[Year ≥ 1993](σ[Condition = good](σ[Make = jaguar](bluePrice))) ⋈ σ[Make = jaguar](dealers))) ⋈ σ[Safety = good](σ[Make = jaguar](reliability))))
+
+logical relations involved:
+  bluePrice    needs {Condition, Make, Model}
+                 ≡   kellys
+  classifieds  needs {Make}
+                 ≡   (π[Make, Model, Year, Price, Contact, Features]((newsday ⋈ newsdayCarFeatures)) ∪ π[Make, Model, Year, Price, Contact, Features](nyTimes))
+  dealers      needs {Make}
+                 ≡   (((carPoint ∪ʳ autoWeb) ∪ʳ wwWheels) ∪ʳ yahooCars)
+  reliability  needs {Make}
+                 ≡   carAndDriver
+
+VPS handles behind those views:
+  ⟨{Make}, {Make, Model}, autoWeb, autoWeb⟩
+  ⟨{Make}, {Make}, carAndDriver, carAndDriver⟩
+  ⟨{Make}, {Make, Model, ZipCode}, carPoint, carPoint⟩
+  ⟨{Condition, Make, Model}, {Condition, Make, Model, Year}, kellys, kellys⟩
+  ⟨{Make}, {Make, Model}, newsday, newsday⟩
+  ⟨{Make, Model}, {Make, Model}, newsday, newsday⟩
+  ⟨{Url}, {Url}, newsdayCarFeatures, newsdayCarFeatures⟩
+  ⟨{Make}, {Make, Model}, nyTimes, nyTimes⟩
+  ⟨{Make}, {Make, Model}, wwWheels, wwWheels⟩
+  ⟨{Make, Model}, {Make, Model}, yahooCars, yahooCars⟩
+`
+
+const goldenApartmentsExplain = `query: SELECT Neighborhood, Rent, MedianRent, CrimeRate, Contact WHERE Borough = brooklyn AND Bedrooms = 2 AND Rent < MedianRent AND CrimeRate ≤ 5
+universal relation: ApartmentUR (8 attributes, 2 maximal objects)
+
+object 1: {Brokered, Medians, Safety}
+  minimal cover: Brokered ⋈ Medians ⋈ Safety
+  expression:    π[Neighborhood, Rent, MedianRent, CrimeRate, Contact]((σ[Rent < MedianRent]((σ[Bedrooms = 2](σ[Borough = brooklyn](brokered)) ⋈ σ[Bedrooms = 2](σ[Borough = brooklyn](medians)))) ⋈ σ[CrimeRate ≤ 5](σ[Borough = brooklyn](safety))))
+
+object 2: {Listings, Medians, Safety}
+  minimal cover: Listings ⋈ Medians ⋈ Safety
+  expression:    π[Neighborhood, Rent, MedianRent, CrimeRate, Contact]((σ[Rent < MedianRent]((σ[Bedrooms = 2](σ[Borough = brooklyn](listings)) ⋈ σ[Bedrooms = 2](σ[Borough = brooklyn](medians)))) ⋈ σ[CrimeRate ≤ 5](σ[Borough = brooklyn](safety))))
+
+logical relations involved:
+  brokered     needs {Bedrooms, Borough}
+                 ≡   aptFinder
+  listings     needs {Borough}
+                 ≡   (cityRentals ∪ʳ π[Borough, Neighborhood, Bedrooms, Rent, Contact](aptFinder))
+  medians      needs {Borough}
+                 ≡   rentIndex
+  safety       needs {Borough}
+                 ≡   safeStreets
+
+VPS handles behind those views:
+  ⟨{Bedrooms, Borough}, {Bedrooms, Borough}, aptFinder, aptFinder⟩
+  ⟨{Borough}, {Bedrooms, Borough}, cityRentals, cityRentals⟩
+  ⟨{Borough}, {Bedrooms, Borough}, rentIndex, rentIndex⟩
+  ⟨{Borough}, {Borough}, safeStreets, safeStreets⟩
+`
+
+func TestExplainGoldenUsedCars(t *testing.T) {
+	wb, err := New(Config{Fetcher: sites.BuildWorld().Server})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ur.ParseQuery(wb.UR, wideCarQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wb.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != goldenCarsExplain {
+		t.Errorf("used-cars Explain output drifted from golden\n--- got ---\n%s\n--- want ---\n%s", got, goldenCarsExplain)
+	}
+}
+
+func TestExplainGoldenApartments(t *testing.T) {
+	wb, err := NewDomain(Config{Fetcher: apartments.BuildWorld().Server}, Domain{
+		Registry: apartments.Registry,
+		Logical:  apartments.Logical,
+		UR:       apartments.UR,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ur.ParseQuery(wb.UR,
+		"SELECT Neighborhood, Rent, MedianRent, CrimeRate, Contact "+
+			"WHERE Borough = 'brooklyn' AND Bedrooms = 2 AND Rent < MedianRent AND CrimeRate <= 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wb.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != goldenApartmentsExplain {
+		t.Errorf("apartments Explain output drifted from golden\n--- got ---\n%s\n--- want ---\n%s", got, goldenApartmentsExplain)
+	}
+}

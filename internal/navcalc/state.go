@@ -19,6 +19,7 @@ import (
 	"webbase/internal/htmlkit"
 	"webbase/internal/relation"
 	"webbase/internal/tlogic"
+	"webbase/internal/trace"
 	"webbase/internal/web"
 )
 
@@ -86,13 +87,25 @@ func (b *BrowseState) load(req *web.Request) error {
 		return fmt.Errorf("%w (%d pages)", ErrPageBudget, b.budget.fetched)
 	}
 	b.budget.fetched++
+	// One trace span per page load, created here — navigation within a
+	// handle invocation is sequential, so fetch spans land in deterministic
+	// order. The span rides the request context so the middleware stack can
+	// annotate how the load was served (cache / network / dedup).
+	sp := trace.Start(b.ctx, trace.KindFetch, req.URL)
+	if sp != nil {
+		req = req.WithContext(trace.ContextWith(b.ctx, sp))
+	}
 	resp, err := b.fetcher.Fetch(req)
 	if err != nil {
+		sp.EndErr(err)
 		return err
 	}
+	sp.Add("bytes", int64(len(resp.Body)))
 	if !resp.OK() {
+		sp.EndErr(fmt.Errorf("status %d", resp.Status))
 		return fmt.Errorf("navcalc: %s returned status %d", req.URL, resp.Status)
 	}
+	sp.End()
 	b.url = resp.URL
 	b.doc = htmlkit.Parse(resp.Body)
 	b.store, b.pageID = PageToObjects(b.doc, b.url)

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queries_total").Add(2)
+	r.Counter("queries_total").Add(3)
+	if got := r.Counter("queries_total").Value(); got != 5 {
+		t.Fatalf("counter = %d", got)
+	}
+	g := r.Gauge("peak")
+	g.Set(7)
+	g.SetMax(3) // lower: no-op
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("gauge = %d", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("pages", 1, 5, 10)
+	for _, v := range []float64{0, 1, 2, 7, 100} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["pages"]
+	if s.Count != 5 || s.Sum != 110 {
+		t.Fatalf("count=%d sum=%g", s.Count, s.Sum)
+	}
+	// Buckets: ≤1: {0,1}; (1,5]: {2}; (5,10]: {7}; overflow: {100}.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+}
+
+func TestSnapshotStringSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(1)
+	r.Counter("a_total").Add(2)
+	r.Gauge("g").Set(3)
+	r.Histogram("h", 10).Observe(4)
+	out := r.Snapshot().String()
+	if strings.Index(out, "a_total") > strings.Index(out, "b_total") {
+		t.Fatalf("counters not sorted:\n%s", out)
+	}
+	for _, want := range []string{"counter a_total 2", "gauge g 3", "histogram h count=1 sum=4 le(10)=1 le(+Inf)=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("snapshot missing %q:\n%s", want, out)
+		}
+	}
+	if out != r.Snapshot().String() {
+		t.Fatal("snapshot rendering must be stable")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("c").Add(1)
+				r.Gauge("g").SetMax(int64(j))
+				r.Histogram("h", 50, 100).Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 1600 {
+		t.Fatalf("counter = %d", got)
+	}
+	if got := r.Snapshot().Histograms["h"].Count; got != 1600 {
+		t.Fatalf("histogram count = %d", got)
+	}
+}

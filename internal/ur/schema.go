@@ -9,6 +9,7 @@ import (
 
 	"webbase/internal/algebra"
 	"webbase/internal/relation"
+	"webbase/internal/trace"
 )
 
 // Schema is a structured universal relation for one application domain:
@@ -295,13 +296,34 @@ func (s *Schema) EvalContext(ctx context.Context, q Query, cat algebra.Catalog) 
 	}
 	res := &Result{Plan: plan}
 	rels := make([]*relation.Relation, len(plan.Objects))
+	// One span per maximal object, pre-created in plan order before any
+	// object is dispatched, so the trace tree is identical whatever the
+	// worker count.
+	var sps []*trace.Span
+	if trace.FromContext(ctx) != nil {
+		sps = make([]*trace.Span, len(plan.Objects))
+		for i, obj := range plan.Objects {
+			sps[i] = trace.Start(ctx, trace.KindObject,
+				"object {"+strings.Join(obj.Relations, ", ")+"}")
+		}
+	}
 	// Every object evaluates even when a sibling fails: binding-failure
 	// errors must not abort the other objects' partial answers.
 	errs := algebra.ForEach(ctx, len(plan.Objects), false, func(i int) error {
+		octx := ctx
+		if sps != nil {
+			octx = trace.ContextWith(ctx, sps[i])
+		}
 		// The paper: "once translated, these queries can be optimized
 		// and evaluated by standard query evaluation techniques."
-		rel, err := algebra.EvalContext(ctx, algebra.Optimize(plan.Objects[i].Expr, cat), cat, nil)
+		rel, err := algebra.EvalContext(octx, algebra.Optimize(plan.Objects[i].Expr, cat), cat, nil)
 		rels[i] = rel
+		if sps != nil {
+			if rel != nil {
+				sps[i].Set("tuples", int64(rel.Len()))
+			}
+			sps[i].EndErr(err)
+		}
 		return err
 	})
 	for i, obj := range plan.Objects {

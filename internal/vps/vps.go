@@ -23,6 +23,7 @@ import (
 
 	"webbase/internal/navcalc"
 	"webbase/internal/relation"
+	"webbase/internal/trace"
 	"webbase/internal/web"
 )
 
@@ -207,7 +208,18 @@ func (r *Registry) Populate(f web.Fetcher, name string, inputs map[string]relati
 func (r *Registry) PopulateContext(ctx context.Context, f web.Fetcher, name string, inputs map[string]relation.Value) (*relation.Relation, *navcalc.ExecInfo, error) {
 	h, err := r.ChooseHandle(name, inputs)
 	if err != nil {
+		// The failed access attempt is itself worth tracing: Benedikt &
+		// Gottlob's relevance analysis needs the accesses that could not
+		// be made as much as the ones that were.
+		sp := trace.Start(ctx, trace.KindHandle, name+" (no usable handle)")
+		sp.EndErr(err)
 		return nil, nil, err
+	}
+	// One span per handle execution: the chosen handle is a deterministic
+	// function of the inputs, so the span name is schedule-independent.
+	sp := trace.Start(ctx, trace.KindHandle, fmt.Sprintf("%s%s via %s", name, h.Mandatory, h.Expr.Name))
+	if sp != nil {
+		ctx = trace.ContextWith(ctx, sp)
 	}
 	strInputs := make(map[string]string, len(inputs))
 	for a, v := range inputs {
@@ -217,7 +229,10 @@ func (r *Registry) PopulateContext(ctx context.Context, f web.Fetcher, name stri
 	}
 	rel, info, err := h.Expr.ExecuteContext(ctx, f, strInputs)
 	if err != nil {
-		return nil, nil, fmt.Errorf("vps: populating %s: %w", name, err)
+		err = fmt.Errorf("vps: populating %s: %w", name, err)
+		sp.Set("fetches", countFetches(sp))
+		sp.EndErr(err)
+		return nil, nil, err
 	}
 	ri := r.relations[name]
 	filtered := rel.Select(func(t relation.Tuple) bool {
@@ -232,7 +247,25 @@ func (r *Registry) PopulateContext(ctx context.Context, f web.Fetcher, name stri
 		}
 		return true
 	})
+	if sp != nil {
+		sp.Set("tuples", int64(filtered.Len()))
+		sp.Set("raw-tuples", int64(rel.Len()))
+		sp.Set("fetches", countFetches(sp))
+		sp.End()
+	}
 	return filtered, info, nil
+}
+
+// countFetches counts the page-load spans navigation recorded beneath a
+// handle span, so the handle line carries its fetch cost directly.
+func countFetches(sp *trace.Span) int64 {
+	var n int64
+	sp.Walk(func(s *trace.Span) {
+		if s.Kind() == trace.KindFetch {
+			n++
+		}
+	})
+	return n
 }
 
 // CheckAgreement verifies the paper's handle-agreement property on live

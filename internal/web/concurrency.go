@@ -3,6 +3,8 @@ package web
 import (
 	"sync"
 	"time"
+
+	"webbase/internal/trace"
 )
 
 // This file holds the middlewares that make the fetch stack safe and
@@ -36,6 +38,7 @@ func WithSingleflight(inner Fetcher, stats *Stats) Fetcher {
 			if stats != nil {
 				stats.deduped.Add(1)
 			}
+			trace.FromContext(req.Context()).Label("outcome", "dedup")
 			return c.resp, c.err
 		}
 		c := &call{done: make(chan struct{})}

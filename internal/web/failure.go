@@ -4,27 +4,48 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"strconv"
+	"sync"
 	"sync/atomic"
+
+	"webbase/internal/trace"
 )
 
 // ErrSimulatedOutage is the error injected by Flaky.
 var ErrSimulatedOutage = errors.New("web: simulated network outage")
 
-// Flaky wraps a fetcher with deterministic failure injection: requests
-// whose (sequence, URL) hash falls under failEveryN fail with
-// ErrSimulatedOutage. With failEveryN = 3 roughly every third fetch
-// fails; deterministic per run so tests are stable. The 1998 Web failed
-// constantly; the webbase has to live with that.
+// Flaky wraps a fetcher with deterministic failure injection: an attempt
+// fails with ErrSimulatedOutage when the hash of (URL, per-request attempt
+// number) falls under FailEvery. With FailEvery = 3 roughly every third
+// fetch fails. The 1998 Web failed constantly; the webbase has to live
+// with that.
+//
+// Attempt numbers are counted per canonical request key, not globally:
+// hashing a global sequence number would make *which* URL fails depend on
+// how goroutines interleave under parallel workers, and fault-injection
+// tests would become schedule-dependent. With per-request counting, the
+// n-th attempt at a given request fails or succeeds identically no matter
+// what else is in flight.
 type Flaky struct {
 	Inner     Fetcher
-	FailEvery uint64 // every n-th eligible request fails; 0 disables
-	seq       atomic.Uint64
+	FailEvery uint64 // every n-th eligible attempt fails; 0 disables
+
+	seq      atomic.Uint64 // total attempts across all requests
+	mu       sync.Mutex
+	attempts map[string]uint64 // canonical request key → attempts seen
 }
 
 // Fetch implements Fetcher with injected failures.
 func (f *Flaky) Fetch(req *Request) (*Response, error) {
-	n := f.seq.Add(1)
+	f.seq.Add(1)
 	if f.FailEvery > 0 {
+		f.mu.Lock()
+		if f.attempts == nil {
+			f.attempts = make(map[string]uint64)
+		}
+		f.attempts[req.Key()]++
+		n := f.attempts[req.Key()]
+		f.mu.Unlock()
 		h := fnv.New64a()
 		fmt.Fprintf(h, "%d|%s", n, req.URL)
 		if h.Sum64()%f.FailEvery == 0 {
@@ -42,11 +63,18 @@ func (f *Flaky) Attempts() uint64 { return f.seq.Load() }
 // additional times. Retrying is safe: webbase navigation only performs
 // idempotent reads (the paper's system never updates the sites it
 // queries). Non-success status codes are returned as-is — they are the
-// site's answer, not a transport failure.
-func WithRetry(inner Fetcher, retries int) Fetcher {
+// site's answer, not a transport failure. Re-issued attempts accumulate in
+// stats (which may be nil) and on the request's trace span.
+func WithRetry(inner Fetcher, retries int, stats *Stats) Fetcher {
 	return FetcherFunc(func(req *Request) (*Response, error) {
 		var lastErr error
 		for attempt := 0; attempt <= retries; attempt++ {
+			if attempt > 0 {
+				if stats != nil {
+					stats.retries.Add(1)
+				}
+				trace.FromContext(req.Context()).Label("attempts", strconv.Itoa(attempt+1))
+			}
 			resp, err := inner.Fetch(req)
 			if err == nil {
 				return resp, nil

@@ -2,6 +2,8 @@ package web
 
 import (
 	"errors"
+	"strings"
+	"sync"
 	"testing"
 )
 
@@ -41,6 +43,85 @@ func TestFlakyInjectsDeterministically(t *testing.T) {
 	}
 }
 
+// TestFlakyScheduleIndependent is the regression test for the rehash of
+// Flaky onto (URL, per-URL attempt): whether the n-th attempt at a given
+// URL fails must not depend on what other requests are in flight or in
+// what order goroutines interleave. The old implementation hashed a global
+// sequence number, so adding a concurrent fetcher of URL B silently
+// changed which attempts at URL A failed.
+func TestFlakyScheduleIndependent(t *testing.T) {
+	urls := []string{"http://a/1", "http://b/2", "http://c/3", "http://d/4"}
+	const attempts = 40
+
+	// outcomes records, per URL, the failure pattern of its attempt sequence.
+	outcomes := func(run func(f *Flaky, fetch func(url string))) map[string]string {
+		f := &Flaky{Inner: okFetcher(), FailEvery: 3}
+		var mu sync.Mutex
+		got := make(map[string]string)
+		run(f, func(url string) {
+			_, err := f.Fetch(NewGet(url))
+			mark := "."
+			if err != nil {
+				mark = "X"
+			}
+			mu.Lock()
+			got[url] += mark
+			mu.Unlock()
+		})
+		return got
+	}
+
+	// Reference: every URL's attempts issued back to back, URL by URL.
+	sequential := outcomes(func(f *Flaky, fetch func(string)) {
+		for _, u := range urls {
+			for i := 0; i < attempts; i++ {
+				fetch(u)
+			}
+		}
+	})
+	// Interleaved round-robin across URLs on one goroutine.
+	interleaved := outcomes(func(f *Flaky, fetch func(string)) {
+		for i := 0; i < attempts; i++ {
+			for _, u := range urls {
+				fetch(u)
+			}
+		}
+	})
+	// Concurrent: one goroutine per URL, schedules free to collide.
+	concurrent := outcomes(func(f *Flaky, fetch func(string)) {
+		var wg sync.WaitGroup
+		for _, u := range urls {
+			wg.Add(1)
+			go func(u string) {
+				defer wg.Done()
+				for i := 0; i < attempts; i++ {
+					fetch(u)
+				}
+			}(u)
+		}
+		wg.Wait()
+	})
+
+	for _, u := range urls {
+		if sequential[u] != interleaved[u] {
+			t.Errorf("%s: interleaving changed the failure pattern\nsequential:  %s\ninterleaved: %s",
+				u, sequential[u], interleaved[u])
+		}
+		if sequential[u] != concurrent[u] {
+			t.Errorf("%s: concurrency changed the failure pattern\nsequential: %s\nconcurrent: %s",
+				u, sequential[u], concurrent[u])
+		}
+	}
+	// The injection must actually do something in this configuration.
+	all := ""
+	for _, u := range urls {
+		all += sequential[u]
+	}
+	if !strings.Contains(all, "X") || !strings.Contains(all, ".") {
+		t.Fatalf("degenerate failure pattern: %q", all)
+	}
+}
+
 func TestFlakyDisabled(t *testing.T) {
 	f := &Flaky{Inner: okFetcher()}
 	for i := 0; i < 50; i++ {
@@ -52,7 +133,7 @@ func TestFlakyDisabled(t *testing.T) {
 
 func TestWithRetryRecovers(t *testing.T) {
 	flaky := &Flaky{Inner: okFetcher(), FailEvery: 2} // ~half of fetches fail
-	f := WithRetry(flaky, 5)
+	f := WithRetry(flaky, 5, &Stats{})
 	for i := 0; i < 100; i++ {
 		if _, err := f.Fetch(NewGet("http://h/x")); err != nil {
 			t.Fatalf("retry did not recover: %v", err)
@@ -64,7 +145,7 @@ func TestWithRetryGivesUp(t *testing.T) {
 	always := FetcherFunc(func(req *Request) (*Response, error) {
 		return nil, ErrSimulatedOutage
 	})
-	f := WithRetry(always, 2)
+	f := WithRetry(always, 2, nil)
 	_, err := f.Fetch(NewGet("http://h/x"))
 	if !errors.Is(err, ErrSimulatedOutage) {
 		t.Fatalf("err = %v", err)
@@ -75,7 +156,7 @@ func TestWithRetryPassesStatusThrough(t *testing.T) {
 	notFound := FetcherFunc(func(req *Request) (*Response, error) {
 		return NotFound(req.URL), nil
 	})
-	resp, err := WithRetry(notFound, 3).Fetch(NewGet("http://h/x"))
+	resp, err := WithRetry(notFound, 3, nil).Fetch(NewGet("http://h/x"))
 	if err != nil || resp.Status != 404 {
 		t.Fatalf("404 should pass through unretried: %v %v", resp, err)
 	}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"webbase/internal/trace"
 )
 
 // Stats accumulates fetch statistics. It is safe for concurrent use and is
@@ -19,6 +21,7 @@ type Stats struct {
 	inflight     atomic.Int64
 	peakInflight atomic.Int64
 	limiterWait  atomic.Int64 // accumulated time spent waiting for host slots, ns
+	retries      atomic.Int64 // failed attempts that WithRetry re-issued
 	mu           sync.Mutex
 	perHost      map[string]int64
 }
@@ -51,6 +54,9 @@ func (s *Stats) PeakInFlight() int64 { return s.peakInflight.Load() }
 func (s *Stats) LimiterWait() time.Duration {
 	return time.Duration(s.limiterWait.Load())
 }
+
+// Retries returns how many failed fetch attempts WithRetry re-issued.
+func (s *Stats) Retries() int64 { return s.retries.Load() }
 
 // PerHost returns a copy of the per-host page counts.
 func (s *Stats) PerHost() map[string]int64 {
@@ -106,12 +112,16 @@ func indexOf(s, sub string) int {
 	return -1
 }
 
-// Counting wraps inner so that every fetch is recorded in stats.
+// Counting wraps inner so that every fetch is recorded in stats. A fetch
+// that reaches this layer touched the network (the cache and singleflight
+// sit above), so the request's trace span — when one rides the request
+// context — is marked outcome=network.
 func Counting(inner Fetcher, stats *Stats) Fetcher {
 	return FetcherFunc(func(req *Request) (*Response, error) {
 		resp, err := inner.Fetch(req)
 		if err == nil {
 			stats.record(req, resp)
+			trace.FromContext(req.Context()).Label("outcome", "network")
 		}
 		return resp, err
 	})
@@ -153,6 +163,7 @@ func WithLatency(inner Fetcher, model LatencyModel, stats *Stats) Fetcher {
 		}
 		d := model.Latency(req.URL, len(resp.Body))
 		stats.virtual.Add(int64(d))
+		trace.FromContext(req.Context()).Label("simulated-latency", d.String())
 		if model.Sleep {
 			time.Sleep(d)
 		}
@@ -206,6 +217,7 @@ func WithCache(inner Fetcher, cache *Cache) Fetcher {
 		cache.mu.RUnlock()
 		if ok {
 			cache.hits.Add(1)
+			trace.FromContext(req.Context()).Label("outcome", "cache")
 			return resp, nil
 		}
 		resp, err := inner.Fetch(req)

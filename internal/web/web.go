@@ -10,6 +10,7 @@
 package web
 
 import (
+	"context"
 	"fmt"
 	"net/url"
 	"sort"
@@ -23,6 +24,29 @@ type Request struct {
 	URL    string     // absolute URL
 	Method string     // "GET" or "POST"; empty means GET
 	Form   url.Values // submitted form fields (nil for plain navigation)
+
+	// ctx carries the caller's context — and with it the current trace
+	// span — through the middleware stack, following net/http's
+	// Request.Context pattern. Set with WithContext; nil means Background.
+	ctx context.Context
+}
+
+// Context returns the request's context (never nil).
+func (r *Request) Context() context.Context {
+	if r.ctx != nil {
+		return r.ctx
+	}
+	return context.Background()
+}
+
+// WithContext returns a shallow copy of the request carrying ctx. The
+// navigation layer attaches its per-fetch trace span this way, so the
+// middlewares can annotate the span (cache hit, deduplication, retries)
+// without the Fetcher interface changing.
+func (r *Request) WithContext(ctx context.Context) *Request {
+	r2 := *r
+	r2.ctx = ctx
+	return &r2
 }
 
 // NewGet returns a GET request for rawurl.

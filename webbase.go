@@ -26,10 +26,16 @@
 //	    "AND Condition = 'good' AND Price < BBPrice")
 //	fmt.Println(res.Relation, stats)
 //
+// Every query can be observed as well as answered: System.QueryTraced
+// returns a span tree mirroring the layered evaluation (query → maximal
+// object → operator → handle → page fetch), System.ExplainAnalyze renders
+// the plan annotated with actual per-operator cardinalities and costs, and
+// System.Metrics aggregates counters/gauges/histograms across queries.
+//
 // The package re-exports the types needed to use the system; the
 // implementation lives under internal/ (relation, htmlkit, web, sites,
 // flogic, tlogic, navcalc, navmap, mapbuilder, vps, algebra, logical, ur,
-// core).
+// trace, core).
 package webbase
 
 import (
@@ -37,6 +43,7 @@ import (
 	"webbase/internal/core"
 	"webbase/internal/relation"
 	"webbase/internal/sites"
+	"webbase/internal/trace"
 	"webbase/internal/ur"
 	"webbase/internal/web"
 )
@@ -63,6 +70,12 @@ type (
 	Tuple = relation.Tuple
 	// Value is a dynamically typed relational value.
 	Value = relation.Value
+
+	// Trace is one query's execution-span tree (from System.QueryTraced).
+	Trace = trace.Trace
+	// MetricsRegistry aggregates counters, gauges and histograms across
+	// queries (from System.Metrics).
+	MetricsRegistry = trace.Registry
 
 	// Fetcher retrieves Web pages; implement it to point the webbase at
 	// your own Web.

@@ -395,6 +395,45 @@ func BenchmarkHeadlineQuery(b *testing.B) {
 	}
 }
 
+// R1 — robustness: the headline query healthy vs with one classifieds
+// site down. The degraded run skips the dead maximal object but pays the
+// failed probes and retries; the metrics carry the answer size and how
+// many objects the degradation dropped (recorded in BENCH_degraded.json).
+func BenchmarkDegradedQuery(b *testing.B) {
+	world := sites.BuildWorld()
+	query := "SELECT Make, Model, Year, Price, BBPrice WHERE Make = 'jaguar' AND Year >= 1993 " +
+		"AND Safety = 'good' AND Condition = 'good' AND Price < BBPrice"
+	down := web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		if web.HostOf(req.URL) == sites.NewsdayHost {
+			return nil, fmt.Errorf("host %s: connection refused", sites.NewsdayHost)
+		}
+		return world.Server.Fetch(req)
+	})
+	run := func(b *testing.B, f web.Fetcher) {
+		var tuples, degraded float64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			sys, err := webbase.New(webbase.Config{Fetcher: f, Retries: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			res, _, err := sys.QueryString(query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tuples = float64(res.Relation.Len())
+			if res.Degradation != nil {
+				degraded = float64(len(res.Degradation.Unavailable))
+			}
+		}
+		b.ReportMetric(tuples, "tuples")
+		b.ReportMetric(degraded, "degraded-objects")
+	}
+	b.Run("healthy", func(b *testing.B) { run(b, world.Server) })
+	b.Run("newsday-down", func(b *testing.B) { run(b, down) })
+}
+
 // Optimizer ablation: rewrite cost of the headline query's plan
 // expressions, and the whole headline query with and without the rewrite
 // (the optimizer is structural; evaluation-time constant pushing keeps the

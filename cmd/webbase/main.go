@@ -9,6 +9,9 @@
 //	webbase -explain-analyze "SELECT ..."   # run and print actual per-operator costs
 //	webbase -trace out.json  "SELECT ..."   # run and export the span tree as JSON
 //	webbase -metrics         "SELECT ..."   # print the metrics snapshot afterwards
+//	webbase -failevery 3 -retries 2 "SELECT ..."       # chaos: survive a flaky Web
+//	webbase -failevery 3 -strict    "SELECT ..."       # ... or fail fast instead
+//	webbase -breaker-threshold 0.5 -allow-stale "SELECT ..."   # breaker + stale-on-error
 //
 // The query language is the structured universal relation interface of
 // Section 6: name output attributes, constrain others; the system figures
@@ -40,6 +43,12 @@ func main() {
 		analyze     = flag.Bool("explain-analyze", false, "run the query and print the plan annotated with actual per-operator costs")
 		traceFile   = flag.String("trace", "", "run the query traced and write the span tree as JSON to this file")
 		showMetrics = flag.Bool("metrics", false, "print the webbase metrics snapshot after the query")
+		retries     = flag.Int("retries", 0, "retry failed page fetches this many additional times")
+		failEvery   = flag.Uint64("failevery", 0, "chaos: deterministically fail roughly every n-th fetch attempt (0 = off)")
+		breakerThr  = flag.Float64("breaker-threshold", 0, "per-host circuit-breaker failure-rate threshold in (0,1]; 0 disables the breaker")
+		allowStale  = flag.Bool("allow-stale", false, "serve expired cached pages when a site is unreachable (stale-on-error)")
+		cacheMaxAge = flag.Duration("cache-maxage", 0, "cached pages older than this no longer count as fresh (0 = never expire)")
+		strict      = flag.Bool("strict", false, "fail the whole query on any site outage instead of degrading to the surviving maximal objects")
 	)
 	flag.Parse()
 
@@ -50,16 +59,29 @@ func main() {
 	}
 	cfg.Workers = *workers
 	cfg.HostLimit = *hostLimit
+	cfg.Retries = *retries
+	cfg.AllowStale = *allowStale
+	cfg.CacheMaxAge = *cacheMaxAge
+	cfg.Strict = *strict
+	if *breakerThr > 0 {
+		cfg.Breaker = &webbase.BreakerConfig{FailureRatio: *breakerThr}
+	}
+	chaos := func(f webbase.Fetcher) webbase.Fetcher {
+		if *failEvery > 0 {
+			return &webbase.Flaky{Inner: f, FailEvery: *failEvery}
+		}
+		return f
+	}
 	var (
 		sys *webbase.System
 		err error
 	)
 	switch *domain {
 	case "usedcars":
-		cfg.Fetcher = webbase.NewSimulatedWorld().Server
+		cfg.Fetcher = chaos(webbase.NewSimulatedWorld().Server)
 		sys, err = webbase.New(cfg)
 	case "apartments":
-		cfg.Fetcher = webbase.NewApartmentWorld().Server
+		cfg.Fetcher = chaos(webbase.NewApartmentWorld().Server)
 		sys, err = webbase.NewApartments(cfg)
 	default:
 		err = fmt.Errorf("unknown domain %q (usedcars or apartments)", *domain)
@@ -152,6 +174,9 @@ func main() {
 	fmt.Printf("(%d answers)\n", res.Relation.Len())
 	for _, s := range res.Skipped {
 		fmt.Printf("note: skipped %s\n", s)
+	}
+	if res.Degradation != nil {
+		fmt.Print("note: partial answer — ", res.Degradation)
 	}
 	if *showStats {
 		fmt.Println(stats)

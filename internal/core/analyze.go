@@ -50,5 +50,10 @@ func (wb *Webbase) ExplainAnalyzeContext(ctx context.Context, q ur.Query) (strin
 
 	sb.WriteString("\n=== totals (volatile) ===\n")
 	fmt.Fprintf(&sb, "%s\n", qs)
+	// The degradation report joins the volatile footer: which hosts are
+	// down is a runtime fact, not part of the plan's structure.
+	if res.Degradation != nil {
+		sb.WriteString(res.Degradation.String())
+	}
 	return sb.String(), nil
 }

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"webbase/internal/sites"
+	"webbase/internal/web"
+)
+
+// chaosOutcome runs the acceptance query through a webbase whose network
+// fails every n-th attempt and folds everything observable about the
+// answer — tuples, skipped objects, the degradation report, or the error —
+// into one string.
+func chaosOutcome(t *testing.T, failEvery uint64, workers int) string {
+	t.Helper()
+	wb, err := New(Config{
+		Fetcher: &web.Flaky{Inner: sites.BuildWorld().Server, FailEvery: failEvery},
+		Workers: workers,
+		Retries: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := wb.QueryString(wideCarQuery)
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	var sb strings.Builder
+	sb.WriteString(res.Relation.String())
+	fmt.Fprintf(&sb, "\nskipped: %v\n", res.Skipped)
+	if res.Degradation != nil {
+		sb.WriteString(res.Degradation.String())
+	}
+	return sb.String()
+}
+
+// TestChaosDeterministicDegradation is the fault-injection acceptance
+// test: whatever a flaky network does to the query — full recovery,
+// partial answer, or total failure — the outcome is byte-identical at
+// Workers=1 and Workers=8. Terminal failure verdicts are decided once per
+// request key (the outage memo) and Flaky hashes per-request attempt
+// numbers, so nothing observable depends on goroutine interleaving.
+// Run with -race and -count=2.
+func TestChaosDeterministicDegradation(t *testing.T) {
+	for _, failEvery := range []uint64{2, 3, 7} {
+		t.Run(fmt.Sprintf("failevery=%d", failEvery), func(t *testing.T) {
+			seq := chaosOutcome(t, failEvery, 1)
+			for run := 0; run < 2; run++ {
+				if par := chaosOutcome(t, failEvery, 8); par != seq {
+					t.Fatalf("outcome differs from sequential (run %d)\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+						run, seq, par)
+				}
+			}
+			if again := chaosOutcome(t, failEvery, 1); again != seq {
+				t.Fatalf("sequential outcome not even self-consistent\n--- first ---\n%s\n--- second ---\n%s",
+					seq, again)
+			}
+		})
+	}
+}

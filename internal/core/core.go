@@ -59,6 +59,31 @@ type Config struct {
 	// means time.Now; tests inject a fake clock to make every rendered
 	// timing reproducible.
 	Clock func() time.Time
+	// Backoff spaces re-issued retry attempts exponentially with
+	// deterministic per-URL jitter. The zero value retries immediately
+	// (the historical behavior).
+	Backoff web.Backoff
+	// RetryBudget caps the total re-issued attempts any single query may
+	// spend across all of its fetches. 0 = unlimited.
+	RetryBudget int64
+	// Breaker, when non-nil, installs the per-host circuit breaker with
+	// this configuration (its Clock defaults to Config.Clock). nil
+	// disables the breaker. Note that breaker verdicts depend on fetch
+	// completion order, so under partial failure a breaker-enabled
+	// webbase trades the byte-identical-across-workers guarantee for
+	// fast-fail; with the breaker off, degraded answers stay
+	// schedule-independent.
+	Breaker *web.BreakerConfig
+	// CacheMaxAge bounds how long a cached page satisfies a fetch
+	// outright. 0 = entries never expire (the historical behavior).
+	CacheMaxAge time.Duration
+	// AllowStale serves expired cache entries when a site cannot be
+	// reached (stale-on-error), labeled outcome=stale in traces.
+	AllowStale bool
+	// Strict restores whole-query fail-fast: a site outage aborts the
+	// query with the taxonomized per-site error instead of degrading to
+	// the surviving maximal objects.
+	Strict bool
 }
 
 // Webbase is an assembled three-layer webbase.
@@ -67,12 +92,15 @@ type Webbase struct {
 	Logical  *logical.Catalog // the logical layer
 	UR       *ur.Schema       // the external schema layer
 
-	fetcher web.Fetcher
-	stats   *web.Stats
-	cache   *web.Cache
-	workers int
-	clock   func() time.Time
-	metrics *trace.Registry
+	fetcher     web.Fetcher
+	stats       *web.Stats
+	cache       *web.Cache
+	breaker     *web.Breaker
+	workers     int
+	clock       func() time.Time
+	metrics     *trace.Registry
+	retryBudget int64
+	strict      bool
 }
 
 // Domain describes how to assemble the three layers of one application
@@ -107,7 +135,8 @@ func NewDomain(cfg Config, d Domain) (*Webbase, error) {
 		return nil, fmt.Errorf("core: Config.Fetcher is required")
 	}
 	wb := &Webbase{stats: &web.Stats{}, workers: cfg.Workers,
-		clock: cfg.Clock, metrics: trace.NewRegistry()}
+		clock: cfg.Clock, metrics: trace.NewRegistry(),
+		retryBudget: cfg.RetryBudget, strict: cfg.Strict}
 	if wb.workers <= 0 {
 		wb.workers = runtime.GOMAXPROCS(0)
 	}
@@ -118,26 +147,42 @@ func NewDomain(cfg Config, d Domain) (*Webbase, error) {
 
 	// The middleware stack, outermost first as a fetch traverses it:
 	//
-	//	cache → singleflight → host limiter → latency → counting → retry → raw
+	//	cache → singleflight → outage memo → breaker → host limiter →
+	//	latency → counting → retry → raw
 	//
 	// Cache sits outermost so hits bypass everything; singleflight next so
 	// concurrent identical misses collapse to one fetch before anyone
-	// queues for a host slot; the limiter wraps the latency/counting pair
-	// so a fetch holds its host slot for the whole (simulated) network
-	// exchange; retry hugs the raw fetcher so each attempt is an
-	// independent transport try.
-	raw := cfg.Fetcher
-	if cfg.Retries > 0 {
-		raw = web.WithRetry(raw, cfg.Retries, wb.stats)
-	}
+	// queues for a host slot; the per-query outage memo sits directly
+	// below singleflight so each request key's terminal verdict is decided
+	// exactly once and replayed schedule-independently; the breaker (when
+	// enabled) rejects before a doomed fetch can queue for a host slot;
+	// the limiter wraps the latency/counting pair so a fetch holds its
+	// host slot for the whole (simulated) network exchange; retry hugs the
+	// raw fetcher so each attempt is an independent transport try — and,
+	// being the innermost failure handler, it is also where terminal
+	// failures get classified as outages and attributed to their host.
+	raw := web.WithRetryPolicy(cfg.Fetcher,
+		web.RetryPolicy{Retries: cfg.Retries, Backoff: cfg.Backoff}, wb.stats)
 	f := web.Counting(raw, wb.stats)
 	if cfg.Latency != (web.LatencyModel{}) {
 		f = web.WithLatency(f, cfg.Latency, wb.stats)
 	}
 	f = web.WithHostLimit(f, hostLimit, wb.stats)
+	if cfg.Breaker != nil {
+		bc := *cfg.Breaker
+		if bc.Clock == nil {
+			bc.Clock = cfg.Clock
+		}
+		wb.breaker = web.NewBreaker(f, bc, wb.stats)
+		f = wb.breaker
+	}
+	f = web.WithOutageMemo(f)
 	f = web.WithSingleflight(f, wb.stats)
 	if !cfg.DisableCache {
 		wb.cache = web.NewCache()
+		wb.cache.MaxAge = cfg.CacheMaxAge
+		wb.cache.AllowStale = cfg.AllowStale
+		wb.cache.Clock = cfg.Clock
 		f = web.WithCache(f, wb.cache)
 	}
 	wb.fetcher = f
@@ -171,6 +216,10 @@ func (wb *Webbase) Cache() *web.Cache { return wb.cache }
 // Fetcher returns the fully wrapped fetcher the webbase navigates with.
 func (wb *Webbase) Fetcher() web.Fetcher { return wb.fetcher }
 
+// Breaker exposes the per-host circuit breaker (nil unless Config.Breaker
+// enabled it).
+func (wb *Webbase) Breaker() *web.Breaker { return wb.breaker }
+
 // Metrics exposes the webbase's metrics registry: counters, gauges and
 // histograms aggregated across every query this webbase has run.
 func (wb *Webbase) Metrics() *trace.Registry { return wb.metrics }
@@ -203,12 +252,22 @@ type QueryStats struct {
 	// Retries counts re-issued fetch attempts (transport failures retried
 	// by the retry middleware) during this query.
 	Retries int64
+	// StaleServed counts pages served from expired cache entries because
+	// the network path failed (stale-on-error) during this query.
+	StaleServed int64
+	// BreakerRejects counts fetches an open circuit breaker rejected
+	// without touching the network during this query.
+	BreakerRejects int64
+	// DegradedObjects counts maximal objects abandoned because their
+	// sites were unreachable (see Result.Degradation for the per-site
+	// detail).
+	DegradedObjects int
 }
 
 // String renders the stats line the experiment harness prints.
 func (qs *QueryStats) String() string {
-	return fmt.Sprintf("pages=%d bytes=%d elapsed=%v simulated-net=%v cache-hits=%d deduped=%d retries=%d peak-inflight=%d limiter-wait=%v",
-		qs.Pages, qs.Bytes, qs.Elapsed, qs.Simulated, qs.CacheHits, qs.Deduped, qs.Retries, qs.PeakInFlight, qs.LimiterWait)
+	return fmt.Sprintf("pages=%d bytes=%d elapsed=%v simulated-net=%v cache-hits=%d deduped=%d retries=%d stale=%d breaker-rejects=%d degraded-objects=%d peak-inflight=%d limiter-wait=%v",
+		qs.Pages, qs.Bytes, qs.Elapsed, qs.Simulated, qs.CacheHits, qs.Deduped, qs.Retries, qs.StaleServed, qs.BreakerRejects, qs.DegradedObjects, qs.PeakInFlight, qs.LimiterWait)
 }
 
 // Query evaluates a universal relation query end to end. Evaluation runs
@@ -253,12 +312,33 @@ func (wb *Webbase) run(ctx context.Context, q ur.Query) (*ur.Result, *QueryStats
 	before := wb.snapshot()
 	start := wb.now()
 	ctx = algebra.WithPool(ctx, algebra.NewPool(wb.workers))
+	// Per-query fault-tolerance state: the outage memo replays terminal
+	// site failures within this query; the retry budget (when configured)
+	// caps this query's total re-issued attempts; strict mode turns
+	// degradation back into fail-fast.
+	ctx = web.ContextWithOutageMemo(ctx, web.NewOutageMemo())
+	if wb.retryBudget > 0 {
+		ctx = web.ContextWithRetryBudget(ctx, web.NewRetryBudget(wb.retryBudget))
+	}
+	if wb.strict {
+		ctx = ur.WithStrict(ctx)
+	}
 	res, err := wb.UR.EvalContext(ctx, q, wb.Logical)
 	if err != nil {
 		wb.metrics.Counter("queries_failed_total").Add(1)
 		return nil, nil, err
 	}
 	qs := wb.delta(before, wb.now().Sub(start))
+	// Degradation is reported whenever the answer differs from (or was
+	// rescued relative to) the fully-healthy one: objects lost to
+	// outages, or pages served stale.
+	if res.Degradation == nil && qs.StaleServed > 0 {
+		res.Degradation = &ur.Degradation{}
+	}
+	if res.Degradation != nil {
+		res.Degradation.StaleServed = qs.StaleServed
+		qs.DegradedObjects = len(res.Degradation.Unavailable)
+	}
 	wb.observe(qs)
 	return res, qs, nil
 }
@@ -272,6 +352,12 @@ func (wb *Webbase) observe(qs *QueryStats) {
 	m.Counter("cache_hits_total").Add(qs.CacheHits)
 	m.Counter("deduped_total").Add(qs.Deduped)
 	m.Counter("retries_total").Add(qs.Retries)
+	m.Counter("stale_served_total").Add(qs.StaleServed)
+	m.Counter("breaker_rejects_total").Add(qs.BreakerRejects)
+	if qs.DegradedObjects > 0 {
+		m.Counter("queries_degraded_total").Add(1)
+		m.Counter("objects_unavailable_total").Add(int64(qs.DegradedObjects))
+	}
 	m.Gauge("peak_inflight").SetMax(qs.PeakInFlight)
 	m.Histogram("query_elapsed_seconds", 0.001, 0.01, 0.1, 1, 10).Observe(qs.Elapsed.Seconds())
 	m.Histogram("query_pages", 1, 5, 10, 50, 100, 500).Observe(float64(qs.Pages))
@@ -293,38 +379,42 @@ func (wb *Webbase) QueryStringContext(ctx context.Context, text string) (*ur.Res
 }
 
 type statSnapshot struct {
-	pages, bytes, hits, deduped, retries int64
-	simulated, limiterWait               time.Duration
+	pages, bytes, hits, deduped, retries, stale, breakerRejects int64
+	simulated, limiterWait                                      time.Duration
 }
 
 func (wb *Webbase) snapshot() statSnapshot {
 	s := statSnapshot{
-		pages:       wb.stats.Pages(),
-		bytes:       wb.stats.Bytes(),
-		simulated:   wb.stats.SimulatedLatency(),
-		deduped:     wb.stats.Deduped(),
-		retries:     wb.stats.Retries(),
-		limiterWait: wb.stats.LimiterWait(),
+		pages:          wb.stats.Pages(),
+		bytes:          wb.stats.Bytes(),
+		simulated:      wb.stats.SimulatedLatency(),
+		deduped:        wb.stats.Deduped(),
+		retries:        wb.stats.Retries(),
+		breakerRejects: wb.stats.BreakerRejects(),
+		limiterWait:    wb.stats.LimiterWait(),
 	}
 	if wb.cache != nil {
 		s.hits = wb.cache.Hits()
+		s.stale = wb.cache.Stale()
 	}
 	return s
 }
 
 func (wb *Webbase) delta(before statSnapshot, elapsed time.Duration) *QueryStats {
 	qs := &QueryStats{
-		Pages:        wb.stats.Pages() - before.pages,
-		Bytes:        wb.stats.Bytes() - before.bytes,
-		Simulated:    wb.stats.SimulatedLatency() - before.simulated,
-		Elapsed:      elapsed,
-		Deduped:      wb.stats.Deduped() - before.deduped,
-		Retries:      wb.stats.Retries() - before.retries,
-		LimiterWait:  wb.stats.LimiterWait() - before.limiterWait,
-		PeakInFlight: wb.stats.PeakInFlight(),
+		Pages:          wb.stats.Pages() - before.pages,
+		Bytes:          wb.stats.Bytes() - before.bytes,
+		Simulated:      wb.stats.SimulatedLatency() - before.simulated,
+		Elapsed:        elapsed,
+		Deduped:        wb.stats.Deduped() - before.deduped,
+		Retries:        wb.stats.Retries() - before.retries,
+		BreakerRejects: wb.stats.BreakerRejects() - before.breakerRejects,
+		LimiterWait:    wb.stats.LimiterWait() - before.limiterWait,
+		PeakInFlight:   wb.stats.PeakInFlight(),
 	}
 	if wb.cache != nil {
 		qs.CacheHits = wb.cache.Hits() - before.hits
+		qs.StaleServed = wb.cache.Stale() - before.stale
 	}
 	return qs
 }

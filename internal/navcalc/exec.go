@@ -80,6 +80,13 @@ func (e *Expression) ExecuteContext(ctx context.Context, f web.Fetcher, inputs m
 		return nil, nil, fmt.Errorf("navcalc: executing %s: %w", e.Name, err)
 	}
 	if !ok {
+		// Navigation within one execution is sequential, so the recorded
+		// failure is schedule-independent; wrapping it preserves the error
+		// taxonomy (IsOutage/FailingHost) through the backtracking.
+		if last := st.lastNavError(); last != nil {
+			return nil, nil, fmt.Errorf("%w: %s: last navigation failure: %w",
+				ErrNavigationFailed, e.Name, last)
+		}
 		return nil, nil, fmt.Errorf("%w: %s", ErrNavigationFailed, e.Name)
 	}
 	final := out.State.(*BrowseState)

@@ -29,6 +29,14 @@ import (
 type pageBudget struct {
 	fetched int
 	max     int // 0 = unlimited
+	// lastErr remembers the most recent soft navigation failure (a dead
+	// link or rejected submission the calculus backtracked over). When the
+	// whole expression ends up with no successful execution, this is the
+	// best available cause — and it keeps the error taxonomy intact: a
+	// navigation that kept hitting an Outage-classified fetch failure
+	// stays recognizable as an outage instead of collapsing into a bare
+	// "no successful execution".
+	lastErr error
 }
 
 // ErrPageBudget is returned when a navigation exceeds its page budget —
@@ -89,12 +97,17 @@ func (b *BrowseState) load(req *web.Request) error {
 	b.budget.fetched++
 	// One trace span per page load, created here — navigation within a
 	// handle invocation is sequential, so fetch spans land in deterministic
-	// order. The span rides the request context so the middleware stack can
-	// annotate how the load was served (cache / network / dedup).
+	// order. The navigation context always rides the request (the retry,
+	// breaker and outage-memo middlewares consult it for cancellation and
+	// per-query state); the span is added to it when tracing is on so the
+	// middleware stack can annotate how the load was served (cache /
+	// network / dedup / stale).
+	rctx := b.ctx
 	sp := trace.Start(b.ctx, trace.KindFetch, req.URL)
 	if sp != nil {
-		req = req.WithContext(trace.ContextWith(b.ctx, sp))
+		rctx = trace.ContextWith(b.ctx, sp)
 	}
+	req = req.WithContext(rctx)
 	resp, err := b.fetcher.Fetch(req)
 	if err != nil {
 		sp.EndErr(err)
@@ -103,7 +116,9 @@ func (b *BrowseState) load(req *web.Request) error {
 	sp.Add("bytes", int64(len(resp.Body)))
 	if !resp.OK() {
 		sp.EndErr(fmt.Errorf("status %d", resp.Status))
-		return fmt.Errorf("navcalc: %s returned status %d", req.URL, resp.Status)
+		// The site answered; the answer just wasn't a success. Classified
+		// as SiteAnswer so upper layers don't mistake a 404 for an outage.
+		return web.MarkSiteAnswer(fmt.Errorf("navcalc: %s returned status %d", req.URL, resp.Status))
 	}
 	sp.End()
 	b.url = resp.URL
@@ -155,10 +170,15 @@ func (b *BrowseState) Relation(name string) *relation.Relation {
 func (b *BrowseState) navigate(req *web.Request) (*BrowseState, error) {
 	nb := b.Clone().(*BrowseState)
 	if err := nb.load(req); err != nil {
+		b.budget.lastErr = err
 		return nil, err
 	}
 	return nb, nil
 }
+
+// lastNavError returns the most recent navigation failure this execution
+// backtracked over, or nil.
+func (b *BrowseState) lastNavError() error { return b.budget.lastErr }
 
 // DeclareWWWSignatures registers the Figure 3 class signatures on a store.
 func DeclareWWWSignatures(st *flogic.Store) {

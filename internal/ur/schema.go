@@ -10,6 +10,7 @@ import (
 	"webbase/internal/algebra"
 	"webbase/internal/relation"
 	"webbase/internal/trace"
+	"webbase/internal/web"
 )
 
 // Schema is a structured universal relation for one application domain:
@@ -272,6 +273,65 @@ type Result struct {
 	// query; their answers are missing from Relation (the relaxed,
 	// partial-answer semantics).
 	Skipped []string
+	// Degradation reports fault-tolerance events: maximal objects
+	// abandoned because their sites were unreachable, and pages served
+	// stale. nil when the query ran fully healthy.
+	Degradation *Degradation
+}
+
+// Degradation is the structured report of how a query's answer fell
+// short of (or risked falling short of) the fully-healthy answer. The
+// answer in Result.Relation is exactly the union of the surviving
+// maximal objects — correct tuples, possibly fewer of them.
+type Degradation struct {
+	// Unavailable lists maximal objects abandoned because a site they
+	// depend on failed terminally (outage class).
+	Unavailable []SiteFailure
+	// StaleServed counts pages served from expired cache entries because
+	// the network path failed (filled in by the core layer).
+	StaleServed int64
+}
+
+// SiteFailure attributes one abandoned maximal object to the site that
+// killed it.
+type SiteFailure struct {
+	Object []string // the minimal cover that was being evaluated
+	Host   string   // failing host, when the error chain names one
+	Err    string   // rendered cause
+}
+
+// Degraded reports whether any maximal object was lost.
+func (d *Degradation) Degraded() bool { return d != nil && len(d.Unavailable) > 0 }
+
+// String renders the report in the style of the EXPLAIN ANALYZE footer.
+func (d *Degradation) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "degraded: %d object(s) unavailable, stale-served=%d\n",
+		len(d.Unavailable), d.StaleServed)
+	for _, f := range d.Unavailable {
+		host := f.Host
+		if host == "" {
+			host = "?"
+		}
+		fmt.Fprintf(&sb, "  {%s}: host=%s: %s\n", strings.Join(f.Object, ", "), host, f.Err)
+	}
+	return sb.String()
+}
+
+// strictKey flags a context as strict: site outages abort the query
+// instead of degrading it.
+type strictKey struct{}
+
+// WithStrict marks ctx so that EvalContext fails fast on the first site
+// outage (the taxonomized error is returned) instead of evaluating the
+// surviving maximal objects.
+func WithStrict(ctx context.Context) context.Context {
+	return context.WithValue(ctx, strictKey{}, true)
+}
+
+func strictFrom(ctx context.Context) bool {
+	v, _ := ctx.Value(strictKey{}).(bool)
+	return v
 }
 
 // Eval plans and evaluates the query against the logical catalog, taking
@@ -326,12 +386,32 @@ func (s *Schema) EvalContext(ctx context.Context, q Query, cat algebra.Catalog) 
 		}
 		return err
 	})
+	var firstOutage error
 	for i, obj := range plan.Objects {
 		rel, err := rels[i], errs[i]
 		if err != nil {
 			if isBindingFailure(err) {
 				res.Skipped = append(res.Skipped,
 					fmt.Sprintf("{%s}: %v", strings.Join(obj.Relations, ", "), err))
+				continue
+			}
+			// Graceful degradation: a terminally-failed site (outage
+			// class) abandons only the maximal objects that depend on
+			// it; the survivors still answer. Strict mode restores the
+			// historical whole-query fail-fast. Cancellation is neither:
+			// it aborts regardless, as an unclassified context error.
+			if web.IsOutage(err) && !strictFrom(ctx) {
+				if firstOutage == nil {
+					firstOutage = err
+				}
+				if res.Degradation == nil {
+					res.Degradation = &Degradation{}
+				}
+				res.Degradation.Unavailable = append(res.Degradation.Unavailable, SiteFailure{
+					Object: obj.Relations,
+					Host:   web.FailingHost(err),
+					Err:    err.Error(),
+				})
 				continue
 			}
 			return nil, fmt.Errorf("ur: evaluating object {%s}: %w", strings.Join(obj.Relations, ", "), err)
@@ -345,7 +425,18 @@ func (s *Schema) EvalContext(ctx context.Context, q Query, cat algebra.Catalog) 
 		}
 	}
 	if res.Relation == nil {
+		if res.Degradation.Degraded() {
+			var gone []string
+			for _, f := range res.Degradation.Unavailable {
+				gone = append(gone, fmt.Sprintf("{%s}: %s", strings.Join(f.Object, ", "), f.Err))
+			}
+			return nil, fmt.Errorf("ur: every maximal object was unavailable or skipped: %s: %w",
+				strings.Join(append(gone, res.Skipped...), "; "), firstOutage)
+		}
 		return nil, fmt.Errorf("ur: every maximal object was skipped: %s", strings.Join(res.Skipped, "; "))
+	}
+	if res.Degradation.Degraded() {
+		trace.FromContext(ctx).Set("degraded-objects", int64(len(res.Degradation.Unavailable)))
 	}
 	res.Relation = res.Relation.Distinct()
 	if len(q.OrderBy) > 0 {

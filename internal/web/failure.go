@@ -1,12 +1,14 @@
 package web
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"webbase/internal/trace"
 )
@@ -59,28 +61,253 @@ func (f *Flaky) Fetch(req *Request) (*Response, error) {
 // ones).
 func (f *Flaky) Attempts() uint64 { return f.seq.Load() }
 
-// WithRetry wraps inner so that failed fetches are retried up to retries
-// additional times. Retrying is safe: webbase navigation only performs
+// Backoff spaces re-issued attempts exponentially: the n-th retry waits
+// roughly Base·2ⁿ⁻¹, capped at Max, with deterministic per-URL jitter —
+// the final delay lands in [d/2, d] at a point chosen by hashing
+// (attempt, URL), so concurrent retries against one host decorrelate
+// without introducing real randomness (runs stay reproducible). The zero
+// value disables waiting entirely (the historical tight loop).
+type Backoff struct {
+	Base time.Duration // first retry's nominal delay; 0 disables backoff
+	Max  time.Duration // cap on the exponential growth; 0 = uncapped
+}
+
+// Delay returns the wait before the retry-th re-issued attempt (retry
+// counts from 1) of rawurl.
+func (b Backoff) Delay(rawurl string, retry int) time.Duration {
+	if b.Base <= 0 || retry <= 0 {
+		return 0
+	}
+	d := b.Base
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if b.Max > 0 && d >= b.Max {
+			d = b.Max
+			break
+		}
+	}
+	if b.Max > 0 && d > b.Max {
+		d = b.Max
+	}
+	if half := d / 2; half > 0 {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d|%s", retry, rawurl)
+		d = half + time.Duration(h.Sum64()%uint64(half+1))
+	}
+	return d
+}
+
+// RetryPolicy configures WithRetryPolicy.
+type RetryPolicy struct {
+	// Retries is how many additional attempts follow a failed fetch.
+	Retries int
+	// Backoff spaces the attempts (zero value: no waiting).
+	Backoff Backoff
+	// Sleep waits between attempts; it must return early with ctx.Err()
+	// when the context is cancelled mid-wait. nil uses a timer. Tests
+	// inject an instant sleep to keep backoff assertions fast.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// WithRetryPolicy wraps inner so that failed fetches are retried with
+// exponential backoff. Retrying is safe: webbase navigation only performs
 // idempotent reads (the paper's system never updates the sites it
 // queries). Non-success status codes are returned as-is — they are the
-// site's answer, not a transport failure. Re-issued attempts accumulate in
-// stats (which may be nil) and on the request's trace span.
-func WithRetry(inner Fetcher, retries int, stats *Stats) Fetcher {
+// site's answer, not a transport failure.
+//
+// The request's context is honored between attempts: a cancelled context
+// aborts the loop (and any backoff wait) immediately, returning the
+// context's error unclassified rather than burning the remaining
+// retries. A retry budget on the context (ContextWithRetryBudget) caps
+// the total re-issues a query may spend across all its fetches; when it
+// runs dry the fetch fails over to the terminal path without further
+// attempts. Terminal failures — retries exhausted, budget dry — are
+// classified as an Outage and attributed to the host (HostError), which
+// is what lets the UR layer degrade around the dead site. Re-issued
+// attempts accumulate in stats (which may be nil) and on the request's
+// trace span.
+func WithRetryPolicy(inner Fetcher, p RetryPolicy, stats *Stats) Fetcher {
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
 	return FetcherFunc(func(req *Request) (*Response, error) {
+		ctx := req.Context()
 		var lastErr error
-		for attempt := 0; attempt <= retries; attempt++ {
-			if attempt > 0 {
-				if stats != nil {
-					stats.retries.Add(1)
-				}
-				trace.FromContext(req.Context()).Label("attempts", strconv.Itoa(attempt+1))
+		attempts := 0
+		for attempt := 0; attempt <= p.Retries; attempt++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
 			resp, err := inner.Fetch(req)
+			attempts++
 			if err == nil {
 				return resp, nil
 			}
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, err
+			}
 			lastErr = err
+			if attempt == p.Retries {
+				break
+			}
+			if !retryBudgetFrom(ctx).take() {
+				trace.FromContext(ctx).Label("retry-budget", "exhausted")
+				break
+			}
+			if stats != nil {
+				stats.retries.Add(1)
+			}
+			trace.FromContext(ctx).Label("attempts", strconv.Itoa(attempt+2))
+			if d := p.Backoff.Delay(req.URL, attempt+1); d > 0 {
+				if err := sleep(ctx, d); err != nil {
+					return nil, err
+				}
+			}
 		}
-		return nil, fmt.Errorf("web: %d attempts failed: %w", retries+1, lastErr)
+		return nil, MarkOutage(&HostError{Host: hostOf(req.URL),
+			Err: fmt.Errorf("web: %d attempts failed: %w", attempts, lastErr)})
+	})
+}
+
+// WithRetry is WithRetryPolicy without backoff, kept for callers that
+// only care about the attempt count.
+func WithRetry(inner Fetcher, retries int, stats *Stats) Fetcher {
+	return WithRetryPolicy(inner, RetryPolicy{Retries: retries}, stats)
+}
+
+// RetryBudget caps how many re-issued attempts a query may spend across
+// all of its fetches, so a query over many flaky sites cannot multiply
+// its own page count unboundedly. A nil budget (no budget on the
+// context) is unlimited.
+type RetryBudget struct {
+	limited   bool
+	remaining atomic.Int64
+}
+
+// NewRetryBudget returns a budget of n re-issues; n <= 0 means
+// unlimited.
+func NewRetryBudget(n int64) *RetryBudget {
+	b := &RetryBudget{}
+	if n > 0 {
+		b.limited = true
+		b.remaining.Store(n)
+	}
+	return b
+}
+
+// take consumes one re-issue, reporting false when the budget is dry.
+func (b *RetryBudget) take() bool {
+	if b == nil || !b.limited {
+		return true
+	}
+	return b.remaining.Add(-1) >= 0
+}
+
+// Remaining reports the re-issues left (meaningless for unlimited
+// budgets).
+func (b *RetryBudget) Remaining() int64 { return b.remaining.Load() }
+
+type retryBudgetKey struct{}
+
+// ContextWithRetryBudget attaches a per-query retry budget consulted by
+// WithRetryPolicy.
+func ContextWithRetryBudget(ctx context.Context, b *RetryBudget) context.Context {
+	return context.WithValue(ctx, retryBudgetKey{}, b)
+}
+
+func retryBudgetFrom(ctx context.Context) *RetryBudget {
+	b, _ := ctx.Value(retryBudgetKey{}).(*RetryBudget)
+	return b
+}
+
+// OutageMemo remembers, for the lifetime of one query, which requests
+// have already failed terminally, so sibling maximal objects and later
+// navigation steps don't re-pay the full retry ladder for a site the
+// query already knows is down.
+//
+// The memo is keyed by canonical request key, not by host, and it sits
+// directly below the singleflight middleware. That pairing makes failure
+// outcomes schedule-independent: each request key's terminal verdict is
+// decided exactly once (concurrent duplicates collapse in singleflight;
+// later duplicates hit the memo), so a query's degradation behavior is
+// identical at Workers=1 and Workers=8. A host-keyed memo would instead
+// make request B's outcome depend on whether request A happened to fail
+// first — exactly the schedule dependence the determinism suite forbids.
+type OutageMemo struct {
+	mu     sync.Mutex
+	failed map[string]error
+}
+
+// NewOutageMemo returns an empty memo.
+func NewOutageMemo() *OutageMemo {
+	return &OutageMemo{failed: make(map[string]error)}
+}
+
+func (m *OutageMemo) lookup(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.failed[key]
+}
+
+func (m *OutageMemo) record(key string, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.failed[key]; !ok {
+		m.failed[key] = err
+	}
+}
+
+// Len reports how many request keys have failed terminally.
+func (m *OutageMemo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.failed)
+}
+
+type outageMemoKey struct{}
+
+// ContextWithOutageMemo attaches a per-query outage memo consulted by
+// WithOutageMemo.
+func ContextWithOutageMemo(ctx context.Context, m *OutageMemo) context.Context {
+	return context.WithValue(ctx, outageMemoKey{}, m)
+}
+
+func outageMemoFrom(ctx context.Context) *OutageMemo {
+	m, _ := ctx.Value(outageMemoKey{}).(*OutageMemo)
+	return m
+}
+
+// WithOutageMemo wraps inner so that Outage-classified failures are
+// remembered in the request context's memo (if any) and replayed for
+// subsequent fetches of the same request without touching inner.
+// Replayed failures are labeled outcome=unavailable on the trace span.
+func WithOutageMemo(inner Fetcher) Fetcher {
+	return FetcherFunc(func(req *Request) (*Response, error) {
+		memo := outageMemoFrom(req.Context())
+		if memo == nil {
+			return inner.Fetch(req)
+		}
+		key := req.Key()
+		if err := memo.lookup(key); err != nil {
+			trace.FromContext(req.Context()).Label("outcome", "unavailable")
+			return nil, err
+		}
+		resp, err := inner.Fetch(req)
+		if err != nil && IsOutage(err) {
+			memo.record(key, err)
+		}
+		return resp, err
 	})
 }

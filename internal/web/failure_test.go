@@ -1,10 +1,14 @@
 package web
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func okFetcher() Fetcher {
@@ -159,5 +163,228 @@ func TestWithRetryPassesStatusThrough(t *testing.T) {
 	resp, err := WithRetry(notFound, 3, nil).Fetch(NewGet("http://h/x"))
 	if err != nil || resp.Status != 404 {
 		t.Fatalf("404 should pass through unretried: %v %v", resp, err)
+	}
+}
+
+// TestWithRetryCanceledContext is the regression test for the tight
+// retry loop: a canceled context must abort immediately instead of
+// burning the remaining retries against a dead site.
+func TestWithRetryCanceledContext(t *testing.T) {
+	var calls atomic.Int64
+	always := FetcherFunc(func(req *Request) (*Response, error) {
+		calls.Add(1)
+		return nil, ErrSimulatedOutage
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the first attempt
+	f := WithRetry(always, 100, nil)
+	_, err := f.Fetch(NewGet("http://h/x").WithContext(ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("canceled fetch still made %d attempts", calls.Load())
+	}
+
+	// Cancel mid-retry: the attempt in flight is the last one issued.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	calls.Store(0)
+	cancelling := FetcherFunc(func(req *Request) (*Response, error) {
+		if calls.Add(1) == 2 {
+			cancel2()
+		}
+		return nil, ErrSimulatedOutage
+	})
+	_, err = WithRetry(cancelling, 100, nil).Fetch(NewGet("http://h/y").WithContext(ctx2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-retry err = %v, want context.Canceled", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("attempts after mid-retry cancel = %d, want 2", got)
+	}
+}
+
+// TestWithRetryClassifiesTerminalFailure: retries exhausted must
+// surface as a host-attributed Outage while keeping the original error
+// reachable through the chain.
+func TestWithRetryClassifiesTerminalFailure(t *testing.T) {
+	always := FetcherFunc(func(req *Request) (*Response, error) {
+		return nil, ErrSimulatedOutage
+	})
+	_, err := WithRetry(always, 2, nil).Fetch(NewGet("http://dead.example/x"))
+	if !IsOutage(err) {
+		t.Fatalf("terminal failure not classified as outage: %v", err)
+	}
+	if got := FailingHost(err); got != "dead.example" {
+		t.Fatalf("failing host = %q", got)
+	}
+	if !errors.Is(err, ErrSimulatedOutage) {
+		t.Fatalf("original cause lost from chain: %v", err)
+	}
+	if IsOutage(context.Canceled) || IsSiteAnswer(err) {
+		t.Fatal("taxonomy cross-talk")
+	}
+}
+
+// TestBackoffDeterministicJitter: delays must grow exponentially, stay
+// within [base·2ⁿ⁻¹/2, base·2ⁿ⁻¹] (jitter), respect the cap, and be a
+// pure function of (URL, attempt).
+func TestBackoffDeterministicJitter(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second}
+	prevFull := time.Duration(0)
+	for retry := 1; retry <= 6; retry++ {
+		full := b.Base << uint(retry-1)
+		if full > b.Max {
+			full = b.Max
+		}
+		d := b.Delay("http://h/x", retry)
+		if d < full/2 || d > full {
+			t.Errorf("retry %d: delay %v outside [%v, %v]", retry, d, full/2, full)
+		}
+		if d2 := b.Delay("http://h/x", retry); d2 != d {
+			t.Errorf("retry %d: nondeterministic delay %v vs %v", retry, d, d2)
+		}
+		if prevFull > 0 && full < prevFull {
+			t.Errorf("retry %d: cap not monotone", retry)
+		}
+		prevFull = full
+	}
+	// Different URLs decorrelate.
+	same := 0
+	for i := 0; i < 8; i++ {
+		u := fmt.Sprintf("http://h/%d", i)
+		if b.Delay(u, 1) == b.Delay("http://h/x", 1) {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Error("jitter ignores the URL")
+	}
+	if (Backoff{}).Delay("http://h/x", 1) != 0 {
+		t.Error("zero backoff must not wait")
+	}
+}
+
+// TestWithRetryPolicyBackoffWaits: the policy must sleep between
+// attempts with the configured schedule and honor cancellation during
+// the wait.
+func TestWithRetryPolicyBackoffWaits(t *testing.T) {
+	var slept []time.Duration
+	always := FetcherFunc(func(req *Request) (*Response, error) {
+		return nil, ErrSimulatedOutage
+	})
+	p := RetryPolicy{
+		Retries: 3,
+		Backoff: Backoff{Base: 10 * time.Millisecond},
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	WithRetryPolicy(always, p, nil).Fetch(NewGet("http://h/x"))
+	if len(slept) != 3 {
+		t.Fatalf("slept %d times, want 3", len(slept))
+	}
+	for i, d := range slept {
+		full := p.Backoff.Base << uint(i)
+		if d < full/2 || d > full {
+			t.Errorf("sleep %d = %v outside [%v, %v]", i, d, full/2, full)
+		}
+	}
+
+	// A cancellation surfaced by Sleep aborts the loop.
+	var calls atomic.Int64
+	counting := FetcherFunc(func(req *Request) (*Response, error) {
+		calls.Add(1)
+		return nil, ErrSimulatedOutage
+	})
+	p.Sleep = func(ctx context.Context, d time.Duration) error { return context.Canceled }
+	_, err := WithRetryPolicy(counting, p, nil).Fetch(NewGet("http://h/x"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("attempts = %d, want 1 (abort during first backoff)", calls.Load())
+	}
+}
+
+// TestRetryBudget: a per-query budget caps total re-issues across
+// requests sharing the context; without a budget retries are unlimited.
+func TestRetryBudget(t *testing.T) {
+	var calls atomic.Int64
+	always := FetcherFunc(func(req *Request) (*Response, error) {
+		calls.Add(1)
+		return nil, ErrSimulatedOutage
+	})
+	f := WithRetry(always, 10, nil)
+	ctx := ContextWithRetryBudget(context.Background(), NewRetryBudget(3))
+
+	_, err := f.Fetch(NewGet("http://h/a").WithContext(ctx))
+	if !IsOutage(err) {
+		t.Fatalf("err = %v", err)
+	}
+	// First request: initial attempt + 3 budgeted re-issues.
+	if calls.Load() != 4 {
+		t.Fatalf("attempts = %d, want 4 (budget of 3 re-issues)", calls.Load())
+	}
+	// Budget is shared and now dry: the next request gets one attempt.
+	calls.Store(0)
+	f.Fetch(NewGet("http://h/b").WithContext(ctx))
+	if calls.Load() != 1 {
+		t.Fatalf("attempts with dry budget = %d, want 1", calls.Load())
+	}
+	// No budget on the context: all retries run.
+	calls.Store(0)
+	f.Fetch(NewGet("http://h/c"))
+	if calls.Load() != 11 {
+		t.Fatalf("attempts without budget = %d, want 11", calls.Load())
+	}
+}
+
+// TestOutageMemoReplays: a terminal failure is decided once per request
+// key and replayed for later fetches without touching the network; other
+// keys are unaffected, and other queries (other memos) start fresh.
+func TestOutageMemoReplays(t *testing.T) {
+	var calls atomic.Int64
+	always := FetcherFunc(func(req *Request) (*Response, error) {
+		calls.Add(1)
+		if hostOf(req.URL) == "dead" {
+			return nil, ErrSimulatedOutage
+		}
+		return HTML(req.URL, "<html><body>ok</body></html>"), nil
+	})
+	f := WithOutageMemo(WithRetry(always, 2, nil))
+	memo := NewOutageMemo()
+	ctx := ContextWithOutageMemo(context.Background(), memo)
+
+	_, err1 := f.Fetch(NewGet("http://dead/x").WithContext(ctx))
+	if !IsOutage(err1) {
+		t.Fatalf("err = %v", err1)
+	}
+	after := calls.Load() // 3 attempts
+	_, err2 := f.Fetch(NewGet("http://dead/x").WithContext(ctx))
+	if calls.Load() != after {
+		t.Fatal("memoized outage still touched the network")
+	}
+	if err2 == nil || err2.Error() != err1.Error() {
+		t.Fatalf("replayed error differs: %v vs %v", err2, err1)
+	}
+	if memo.Len() != 1 {
+		t.Fatalf("memo len = %d", memo.Len())
+	}
+	// Different key: unaffected.
+	if _, err := f.Fetch(NewGet("http://alive/x").WithContext(ctx)); err != nil {
+		t.Fatalf("alive fetch failed: %v", err)
+	}
+	// A new query (fresh memo) retries the site.
+	before := calls.Load()
+	f.Fetch(NewGet("http://dead/x").WithContext(
+		ContextWithOutageMemo(context.Background(), NewOutageMemo())))
+	if calls.Load() == before {
+		t.Fatal("fresh memo should have touched the network again")
+	}
+	// No memo on the context: pass-through.
+	if _, err := f.Fetch(NewGet("http://alive/y")); err != nil {
+		t.Fatalf("memoless fetch failed: %v", err)
 	}
 }

@@ -1,6 +1,8 @@
 package web
 
 import (
+	"context"
+	"errors"
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
@@ -22,8 +24,11 @@ type Stats struct {
 	peakInflight atomic.Int64
 	limiterWait  atomic.Int64 // accumulated time spent waiting for host slots, ns
 	retries      atomic.Int64 // failed attempts that WithRetry re-issued
-	mu           sync.Mutex
-	perHost      map[string]int64
+	// breakerRejects counts fetches the circuit breaker refused without
+	// touching the network.
+	breakerRejects atomic.Int64
+	mu             sync.Mutex
+	perHost        map[string]int64
 }
 
 // Pages returns the number of successful fetches observed.
@@ -57,6 +62,10 @@ func (s *Stats) LimiterWait() time.Duration {
 
 // Retries returns how many failed fetch attempts WithRetry re-issued.
 func (s *Stats) Retries() int64 { return s.retries.Load() }
+
+// BreakerRejects returns how many fetches an open circuit breaker
+// rejected without touching the network.
+func (s *Stats) BreakerRejects() int64 { return s.breakerRejects.Load() }
 
 // PerHost returns a copy of the per-host page counts.
 func (s *Stats) PerHost() map[string]int64 {
@@ -174,16 +183,42 @@ func WithLatency(inner Fetcher, model LatencyModel, stats *Stats) Fetcher {
 // Cache is a concurrency-safe page cache keyed by the full request key.
 // The paper's Section 7 observes that caching is one of the techniques
 // needed for acceptable response time when querying many sites.
+//
+// Entries carry their fetch timestamp. With MaxAge set, an entry older
+// than MaxAge no longer satisfies a fetch — but it is kept, and when
+// AllowStale is on it is served as a last resort if the network path
+// fails ("Maintaining Consistency of Data on the Web": possibly-stale
+// content beats no content when the source is unreachable). MaxAge,
+// AllowStale and Clock are configuration: set them before the cache is
+// used, not concurrently with fetching.
 type Cache struct {
+	// MaxAge bounds how long an entry satisfies a fetch outright.
+	// 0 means entries never expire (the historical behavior).
+	MaxAge time.Duration
+	// AllowStale serves an expired entry when the wrapped fetch fails
+	// (stale-on-error). The serve is labeled outcome=stale on the trace
+	// span and counted in Stale.
+	AllowStale bool
+	// Clock supplies entry timestamps; nil means time.Now.
+	Clock func() time.Time
+
 	mu      sync.RWMutex
-	entries map[string]*Response
+	entries map[string]*cacheEntry
+	gen     uint64 // bumped by Clear; fills from older generations are dropped
 	hits    atomic.Int64
 	misses  atomic.Int64
+	stale   atomic.Int64
+}
+
+// cacheEntry is a cached response stamped with when it was fetched.
+type cacheEntry struct {
+	resp      *Response
+	fetchedAt time.Time
 }
 
 // NewCache returns an empty cache.
 func NewCache() *Cache {
-	return &Cache{entries: make(map[string]*Response)}
+	return &Cache{entries: make(map[string]*cacheEntry)}
 }
 
 // Hits returns the number of cache hits served.
@@ -192,6 +227,10 @@ func (c *Cache) Hits() int64 { return c.hits.Load() }
 // Misses returns the number of fetches that went to the network.
 func (c *Cache) Misses() int64 { return c.misses.Load() }
 
+// Stale returns the number of expired entries served because the network
+// path failed (stale-on-error).
+func (c *Cache) Stale() int64 { return c.stale.Load() }
+
 // Len returns the number of cached responses.
 func (c *Cache) Len() int {
 	c.mu.RLock()
@@ -199,11 +238,22 @@ func (c *Cache) Len() int {
 	return len(c.entries)
 }
 
-// Clear empties the cache (e.g. when the map builder detects site change).
+// Clear empties the cache (e.g. when the map builder detects site change)
+// and invalidates in-flight fills: a response that started fetching
+// before the Clear will not be stored, so a deliberately-dropped page
+// cannot resurrect itself mid-flight.
 func (c *Cache) Clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries = make(map[string]*Response)
+	c.entries = make(map[string]*cacheEntry)
+	c.gen++
+}
+
+func (c *Cache) now() time.Time {
+	if c.Clock != nil {
+		return c.Clock()
+	}
+	return time.Now()
 }
 
 // WithCache wraps inner with the cache. Responses are cached by full
@@ -213,20 +263,38 @@ func WithCache(inner Fetcher, cache *Cache) Fetcher {
 	return FetcherFunc(func(req *Request) (*Response, error) {
 		key := req.Key()
 		cache.mu.RLock()
-		resp, ok := cache.entries[key]
+		e := cache.entries[key]
+		gen := cache.gen
 		cache.mu.RUnlock()
-		if ok {
+		now := cache.now()
+		if e != nil && (cache.MaxAge <= 0 || now.Sub(e.fetchedAt) <= cache.MaxAge) {
 			cache.hits.Add(1)
 			trace.FromContext(req.Context()).Label("outcome", "cache")
-			return resp, nil
+			return e.resp, nil
 		}
 		resp, err := inner.Fetch(req)
 		if err != nil {
+			// Stale-on-error: the site is unreachable but we still hold
+			// its last answer. Cancellation is the caller's choice, not
+			// the site's failure — never paper over it with stale data.
+			if e != nil && cache.AllowStale &&
+				!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				cache.stale.Add(1)
+				sp := trace.FromContext(req.Context())
+				sp.Label("outcome", "stale")
+				sp.Label("stale-age", now.Sub(e.fetchedAt).String())
+				return e.resp, nil
+			}
 			return nil, err
 		}
 		cache.misses.Add(1)
 		cache.mu.Lock()
-		cache.entries[key] = resp
+		// Drop fills that began under an older generation: Clear() was
+		// called while this fetch was in flight, so the response may be
+		// exactly the page the clear meant to discard.
+		if cache.gen == gen {
+			cache.entries[key] = &cacheEntry{resp: resp, fetchedAt: cache.now()}
+		}
 		cache.mu.Unlock()
 		return resp, nil
 	})

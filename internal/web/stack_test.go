@@ -1,0 +1,186 @@
+package web
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"webbase/internal/trace"
+)
+
+// buildStack composes the full production middleware order — cache →
+// singleflight → outage memo → breaker → host limiter → retry(flaky) —
+// exactly as core.NewDomain assembles it, returning the outermost
+// fetcher plus the observable pieces.
+func buildStack(failEvery uint64, retries int) (Fetcher, *Stats, *Cache) {
+	stats := &Stats{}
+	raw := &Flaky{Inner: okFetcher(), FailEvery: failEvery}
+	f := WithRetryPolicy(raw, RetryPolicy{Retries: retries}, stats)
+	f = Counting(f, stats)
+	f = WithHostLimit(f, 2, stats)
+	f = WithBreaker(f, BreakerConfig{Window: 64, FailureRatio: 0.99,
+		Cooldown: time.Hour, Clock: newTick().Clock()}, stats)
+	f = WithOutageMemo(f)
+	f = WithSingleflight(f, stats)
+	cache := NewCache()
+	f = WithCache(f, cache)
+	return f, stats, cache
+}
+
+// TestStackEndToEndAccounting runs the same workload through the full
+// stack at 1 and at 8 workers and checks the serving-outcome identity:
+// every successful fetch was served exactly one way, so
+//
+//	cache hits + deduped + network pages + stale = total fetches
+//
+// and the trace outcome labels agree with the Stats counters.
+func TestStackEndToEndAccounting(t *testing.T) {
+	var urls []string
+	for h := 0; h < 4; h++ {
+		for p := 0; p < 5; p++ {
+			urls = append(urls, fmt.Sprintf("http://host%d/page/%d", h, p))
+		}
+	}
+	// Each URL fetched 5 times: plenty of cache hits, and under 8
+	// workers plenty of chances for singleflight collapses.
+	var ops []string
+	for i := 0; i < 5; i++ {
+		ops = append(ops, urls...)
+	}
+
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			// FailEvery=2 with 5 retries: every request key recovers
+			// (deterministically — Flaky hashes (attempt, URL)), so all
+			// ops succeed and the identity covers the whole workload.
+			f, stats, cache := buildStack(2, 5)
+			tr := trace.New("stack", nil)
+			ctx := trace.ContextWith(context.Background(), tr.Root)
+			ctx = ContextWithOutageMemo(ctx, NewOutageMemo())
+
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < len(ops); i += workers {
+						sp := trace.Start(ctx, trace.KindFetch, ops[i])
+						req := NewGet(ops[i]).WithContext(trace.ContextWith(ctx, sp))
+						resp, err := f.Fetch(req)
+						sp.EndErr(err)
+						if err != nil {
+							t.Errorf("fetch %s: %v", ops[i], err)
+						} else if len(resp.Body) == 0 {
+							t.Errorf("fetch %s: empty body", ops[i])
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			tr.Root.End()
+
+			total := int64(len(ops))
+			served := cache.Hits() + stats.Deduped() + stats.Pages() + cache.Stale()
+			if served != total {
+				t.Errorf("identity broken: hits=%d + deduped=%d + network=%d + stale=%d = %d, want %d",
+					cache.Hits(), stats.Deduped(), stats.Pages(), cache.Stale(), served, total)
+			}
+			// Every distinct URL touched the network exactly once.
+			if stats.Pages() != int64(len(urls)) {
+				t.Errorf("network fetches = %d, want %d", stats.Pages(), len(urls))
+			}
+			if stats.BreakerRejects() != 0 {
+				t.Errorf("breaker rejected %d fetches in a recovering workload", stats.BreakerRejects())
+			}
+
+			// Trace outcome labels must tell the same story as Stats.
+			outcomes := map[string]int64{}
+			tr.Root.Walk(func(sp *trace.Span) {
+				if sp.Kind() == trace.KindFetch {
+					outcomes[sp.LabelValue("outcome")]++
+				}
+			})
+			if outcomes["cache"] != cache.Hits() {
+				t.Errorf("outcome=cache spans = %d, cache hits = %d", outcomes["cache"], cache.Hits())
+			}
+			if outcomes["dedup"] != stats.Deduped() {
+				t.Errorf("outcome=dedup spans = %d, deduped = %d", outcomes["dedup"], stats.Deduped())
+			}
+			if outcomes["network"] != stats.Pages() {
+				t.Errorf("outcome=network spans = %d, pages = %d", outcomes["network"], stats.Pages())
+			}
+			if outcomes["stale"] != cache.Stale() {
+				t.Errorf("outcome=stale spans = %d, stale = %d", outcomes["stale"], cache.Stale())
+			}
+			if sum := outcomes["cache"] + outcomes["dedup"] + outcomes["network"] + outcomes["stale"]; sum != total {
+				t.Errorf("labeled spans = %d, want %d (outcomes: %v)", sum, total, outcomes)
+			}
+		})
+	}
+}
+
+// TestStackDeadHostIsolated: with one host terminally down, the other
+// hosts' fetches all succeed, the dead host's requests fail with a
+// host-attributed outage decided once per request key (the memo), and
+// the serving identity holds for the successes.
+func TestStackDeadHostIsolated(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			stats := &Stats{}
+			raw := FetcherFunc(func(req *Request) (*Response, error) {
+				if hostOf(req.URL) == "dead" {
+					return nil, ErrSimulatedOutage
+				}
+				return HTML(req.URL, "<html><body>ok</body></html>"), nil
+			})
+			f := WithRetryPolicy(raw, RetryPolicy{Retries: 2}, stats)
+			f = Counting(f, stats)
+			f = WithHostLimit(f, 2, stats)
+			f = WithOutageMemo(f)
+			f = WithSingleflight(f, stats)
+			cache := NewCache()
+			f = WithCache(f, cache)
+			ctx := ContextWithOutageMemo(context.Background(), NewOutageMemo())
+
+			var ops []string
+			for p := 0; p < 4; p++ {
+				ops = append(ops, fmt.Sprintf("http://dead/p/%d", p),
+					fmt.Sprintf("http://alive/p/%d", p))
+			}
+			ops = append(ops, ops...) // every URL twice
+
+			var mu sync.Mutex
+			successes, failures := int64(0), 0
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < len(ops); i += workers {
+						_, err := f.Fetch(NewGet(ops[i]).WithContext(ctx))
+						mu.Lock()
+						if err != nil {
+							failures++
+							if !IsOutage(err) || FailingHost(err) != "dead" {
+								t.Errorf("%s: bad failure %v", ops[i], err)
+							}
+						} else {
+							successes++
+						}
+						mu.Unlock()
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			if failures != 8 { // 4 dead URLs × 2 ops each
+				t.Errorf("failures = %d, want 8", failures)
+			}
+			if served := cache.Hits() + stats.Deduped() + stats.Pages() + cache.Stale(); served < successes {
+				t.Errorf("identity: served=%d < successes=%d", served, successes)
+			}
+		})
+	}
+}

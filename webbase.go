@@ -77,11 +77,26 @@ type (
 	// queries (from System.Metrics).
 	MetricsRegistry = trace.Registry
 
+	// Degradation reports the maximal objects a query lost to site
+	// outages and the pages it served stale (see Result.Degradation).
+	Degradation = ur.Degradation
+	// SiteFailure attributes one abandoned maximal object to the failing
+	// site.
+	SiteFailure = ur.SiteFailure
+
 	// Fetcher retrieves Web pages; implement it to point the webbase at
 	// your own Web.
 	Fetcher = web.Fetcher
 	// LatencyModel simulates network latency deterministically.
 	LatencyModel = web.LatencyModel
+	// BreakerConfig tunes the per-host circuit breaker (Config.Breaker).
+	BreakerConfig = web.BreakerConfig
+	// Backoff spaces retry attempts exponentially with deterministic
+	// per-URL jitter (Config.Backoff).
+	Backoff = web.Backoff
+	// Flaky injects deterministic fetch failures — the chaos-testing
+	// fetcher wrapper (and the CLI's -failevery).
+	Flaky = web.Flaky
 	// World is the built-in simulated car-shopping Web with its
 	// ground-truth datasets.
 	World = sites.World
@@ -116,6 +131,22 @@ func NewApartments(cfg Config) (*System, error) {
 func ParseQuery(sys *System, text string) (Query, error) {
 	return ur.ParseQuery(sys.UR, text)
 }
+
+// Error taxonomy helpers (see internal/web's taxonomy): classify a
+// query or fetch failure with errors.Is semantics.
+var (
+	// IsOutage reports a terminal site failure (retries exhausted,
+	// breaker open, host down).
+	IsOutage = web.IsOutage
+	// IsTransient reports a retryable failure.
+	IsTransient = web.IsTransient
+	// IsSiteAnswer reports that the site answered, unsuccessfully
+	// (e.g. a non-success status).
+	IsSiteAnswer = web.IsSiteAnswer
+	// FailingHost names the host a failure is attributed to ("" when
+	// unattributed).
+	FailingHost = web.FailingHost
+)
 
 // Value constructors.
 var (

@@ -4,8 +4,13 @@
 package webbase_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -432,6 +437,96 @@ func BenchmarkDegradedQuery(b *testing.B) {
 	}
 	b.Run("healthy", func(b *testing.B) { run(b, world.Server) })
 	b.Run("newsday-down", func(b *testing.B) { run(b, down) })
+}
+
+// R2 — overload protection: 32 concurrent clients hammering a webbase
+// whose busiest classifieds host has a deterministic straggler problem
+// (every 7th request takes 25ms instead of 1ms). The unprotected run lets
+// all 32 queries pile onto the host's four fetch slots; the protected run
+// admits 8 at a time (queueing 8, shedding the rest with ErrShedded) and
+// hedges any fetch still unanswered after 3ms. The metrics carry the
+// client-observed p50/p99 of the queries that were served, plus how many
+// were shed — the overload-protection trade made explicit (recorded in
+// BENCH_overload.json).
+func BenchmarkOverloadedQuery(b *testing.B) {
+	world := sites.BuildWorld()
+	var reqs atomic.Int64
+	slow := web.FetcherFunc(func(req *web.Request) (*web.Response, error) {
+		if web.HostOf(req.URL) == sites.NewsdayHost {
+			if reqs.Add(1)%7 == 0 {
+				time.Sleep(25 * time.Millisecond) // the straggler tail
+			}
+		}
+		return world.Server.Fetch(req)
+	})
+	makes := []string{"ford", "honda", "jaguar", "saab"}
+	run := func(b *testing.B, cfg webbase.Config) {
+		cfg.Fetcher = slow
+		cfg.DisableCache = true // every query pays its own fetches
+		sys, err := webbase.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries := make([]webbase.Query, len(makes))
+		for i, m := range makes {
+			q, err := webbase.ParseQuery(sys,
+				fmt.Sprintf("SELECT Make, Model, Year, Price WHERE Make = '%s'", m))
+			if err != nil {
+				b.Fatal(err)
+			}
+			queries[i] = q
+		}
+		const clients = 32
+		var served []time.Duration
+		var sheds int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var (
+				mu sync.Mutex
+				wg sync.WaitGroup
+			)
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					start := time.Now()
+					_, _, err := sys.QueryContext(context.Background(), queries[c%len(queries)])
+					lat := time.Since(start)
+					mu.Lock()
+					defer mu.Unlock()
+					if errors.Is(err, webbase.ErrShedded) {
+						sheds++
+						return
+					}
+					if err != nil {
+						b.Errorf("client %d: %v", c, err)
+						return
+					}
+					served = append(served, lat)
+				}(c)
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		sort.Slice(served, func(i, j int) bool { return served[i] < served[j] })
+		if len(served) > 0 {
+			b.ReportMetric(float64(served[len(served)/2])/1e6, "p50_ms")
+			b.ReportMetric(float64(served[len(served)*99/100])/1e6, "p99_ms")
+		}
+		b.ReportMetric(float64(sheds)/float64(b.N), "sheds/op")
+	}
+	b.Run("unprotected", func(b *testing.B) { run(b, webbase.Config{}) })
+	b.Run("admission-only", func(b *testing.B) {
+		run(b, webbase.Config{MaxInFlight: 8, HostLimit: 8, HostQueue: 64})
+	})
+	b.Run("protected", func(b *testing.B) {
+		run(b, webbase.Config{
+			MaxInFlight: 8,
+			HostLimit:   8,
+			HedgeAfter:  8 * time.Millisecond,
+			HostQueue:   64,
+		})
+	})
 }
 
 // Optimizer ablation: rewrite cost of the headline query's plan

@@ -12,6 +12,7 @@
 //	webbase -failevery 3 -retries 2 "SELECT ..."       # chaos: survive a flaky Web
 //	webbase -failevery 3 -strict    "SELECT ..."       # ... or fail fast instead
 //	webbase -breaker-threshold 0.5 -allow-stale "SELECT ..."   # breaker + stale-on-error
+//	webbase -max-inflight 8 -queue-depth 8 -deadline 500ms -hedge-after 50ms "SELECT ..."   # overload protection
 //
 // The query language is the structured universal relation interface of
 // Section 6: name output attributes, constrain others; the system figures
@@ -49,6 +50,11 @@ func main() {
 		allowStale  = flag.Bool("allow-stale", false, "serve expired cached pages when a site is unreachable (stale-on-error)")
 		cacheMaxAge = flag.Duration("cache-maxage", 0, "cached pages older than this no longer count as fresh (0 = never expire)")
 		strict      = flag.Bool("strict", false, "fail the whole query on any site outage instead of degrading to the surviving maximal objects")
+		deadline    = flag.Duration("deadline", 0, "per-maximal-object time budget; objects over budget degrade out of the answer (0 = none)")
+		maxInflight = flag.Int("max-inflight", 0, "admission control: max concurrently executing queries (0 = unlimited)")
+		queueDepth  = flag.Int("queue-depth", 0, "admission control: bounded FIFO wait queue behind -max-inflight; excess queries shed immediately")
+		hedgeAfter  = flag.Duration("hedge-after", 0, "issue a second attempt for any fetch still unanswered after this delay (0 = off)")
+		hostQueue   = flag.Int("host-queue", 0, "per-host bulkhead wait-queue bound; fetches beyond it are shed (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -63,6 +69,11 @@ func main() {
 	cfg.AllowStale = *allowStale
 	cfg.CacheMaxAge = *cacheMaxAge
 	cfg.Strict = *strict
+	cfg.Deadline = *deadline
+	cfg.MaxInFlight = *maxInflight
+	cfg.QueueDepth = *queueDepth
+	cfg.HedgeAfter = *hedgeAfter
+	cfg.HostQueue = *hostQueue
 	if *breakerThr > 0 {
 		cfg.Breaker = &webbase.BreakerConfig{FailureRatio: *breakerThr}
 	}

@@ -8,6 +8,7 @@ import (
 
 	"webbase/internal/relation"
 	"webbase/internal/trace"
+	"webbase/internal/web"
 )
 
 // CatalogContext is optionally implemented by catalogs whose Populate can
@@ -399,6 +400,16 @@ func dependentJoin(ctx context.Context, acc *relation.Relation, next Expr, nextS
 		ictx := ctx
 		if sp != nil {
 			ictx = trace.ContextWith(ctx, sp)
+		}
+		// Deadline budget: an invocation is the unit of new work at this
+		// layer; refuse to start one once the owning object's budget is
+		// gone (work already invoked is allowed to finish).
+		if web.BudgetFrom(ctx).Exhausted() {
+			err := web.MarkOutage(fmt.Errorf("algebra: dependent-join invocation refused: %w",
+				web.ErrBudgetExhausted))
+			sp.Set("budget-exhausted", 1)
+			sp.EndErr(err)
+			return err
 		}
 		inputs := cloneBound(bound)
 		for k, a := range shared {

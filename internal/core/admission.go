@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"webbase/internal/trace"
+)
+
+// This file is the admission gate: the outermost overload defense. Under
+// a burst, every query admitted past capacity makes every other query
+// slower — the dependent-join fan-out multiplies one admitted query into
+// dozens of handle invocations competing for the same host slots. The
+// gate bounds concurrently executing queries, parks a bounded FIFO queue
+// of waiters behind them, and sheds everything beyond that immediately
+// with ErrShedded. Shedding at admission (rather than deep in the worker
+// pool) means a rejected query costs microseconds of mutex work instead
+// of pages, goroutines and host slots — the caller learns "try later"
+// before the system spends anything on it.
+
+// ErrShedded is returned when the admission gate rejects a query because
+// the maximum number of queries are already executing and the wait queue
+// is full. Match with errors.Is. A shed query performed no work: no
+// pages were fetched, no trace was started, no stats were accrued.
+var ErrShedded = errors.New("core: query shed: admission gate and queue are full")
+
+// admitWaiter is one queued query; granted is closed by release when an
+// executing slot transfers to it.
+type admitWaiter struct {
+	granted chan struct{}
+}
+
+// admission is the bounded gate. A nil *admission admits everything
+// (gate disabled), so callers can use it unconditionally.
+type admission struct {
+	metrics *trace.Registry
+	clock   func() time.Time
+
+	mu       sync.Mutex
+	max      int // concurrently executing queries
+	depth    int // bounded wait queue behind them
+	inflight int
+	queue    []*admitWaiter // FIFO: index 0 is the longest-waiting query
+}
+
+// newAdmission builds a gate of max executing slots and a wait queue of
+// depth. max <= 0 disables the gate (returns nil).
+func newAdmission(max, depth int, metrics *trace.Registry, clock func() time.Time) *admission {
+	if max <= 0 {
+		return nil
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &admission{metrics: metrics, clock: clock, max: max, depth: depth}
+}
+
+// acquire blocks until the query may execute, returning how long it
+// waited in the queue. When the gate and the queue are both full it
+// returns ErrShedded without blocking; when ctx is cancelled while
+// queued it returns ctx.Err(). The caller must release() after a nil
+// error, and must not after a non-nil one.
+func (a *admission) acquire(ctx context.Context) (time.Duration, error) {
+	if a == nil {
+		return 0, nil
+	}
+	a.mu.Lock()
+	if a.inflight < a.max {
+		a.inflight++
+		a.mu.Unlock()
+		return 0, nil
+	}
+	if len(a.queue) >= a.depth {
+		a.mu.Unlock()
+		a.metrics.Counter("queries_shed_total").Add(1)
+		return 0, ErrShedded
+	}
+	w := &admitWaiter{granted: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.gaugeLocked()
+	a.mu.Unlock()
+
+	start := a.clock()
+	select {
+	case <-w.granted:
+		return a.clock().Sub(start), nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		select {
+		case <-w.granted:
+			// The grant raced the cancellation: we own a slot after all.
+			// Hand it on rather than strand it.
+			a.mu.Unlock()
+			a.release()
+		default:
+			// Not granted, so w is still queued (only release dequeues,
+			// under this lock, and it closes granted when it does).
+			// Remove it so it stops occupying one of the depth slots.
+			for i, q := range a.queue {
+				if q == w {
+					a.queue = append(a.queue[:i], a.queue[i+1:]...)
+					break
+				}
+			}
+			a.gaugeLocked()
+			a.mu.Unlock()
+		}
+		return a.clock().Sub(start), ctx.Err()
+	}
+}
+
+// release returns a slot: the longest-waiting queued query (if any)
+// inherits it, otherwise the gate's inflight count drops.
+func (a *admission) release() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.queue) > 0 {
+		w := a.queue[0]
+		a.queue = a.queue[1:]
+		// The slot transfers: inflight is unchanged.
+		close(w.granted)
+	} else {
+		a.inflight--
+	}
+	a.gaugeLocked()
+}
+
+// gaugeLocked publishes queue/inflight depth; a.mu must be held.
+func (a *admission) gaugeLocked() {
+	a.metrics.Gauge("admission_queue_depth").Set(int64(len(a.queue)))
+	a.metrics.Gauge("admission_inflight").Set(int64(a.inflight))
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"webbase/internal/sites"
+	"webbase/internal/trace"
+	"webbase/internal/ur"
+	"webbase/internal/web"
+)
+
+// waitQueueLen polls the gate until its wait queue reaches n.
+func waitQueueLen(t *testing.T, a *admission, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		a.mu.Lock()
+		l := len(a.queue)
+		a.mu.Unlock()
+		if l == n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("admission queue never reached length %d", n)
+}
+
+// TestAdmissionGateFIFO pins the queue's service order: queued queries
+// are granted the slot strictly in arrival order.
+func TestAdmissionGateFIFO(t *testing.T) {
+	a := newAdmission(1, 3, trace.NewRegistry(), nil)
+	if _, err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan int, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := a.acquire(context.Background()); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			a.release()
+		}(i)
+		waitQueueLen(t, a, i+1) // enqueue deterministically, one at a time
+	}
+	a.release() // hand the slot down the chain
+	wg.Wait()
+	close(order)
+	want := 0
+	for got := range order {
+		if got != want {
+			t.Fatalf("service order broke FIFO: got waiter %d, want %d", got, want)
+		}
+		want++
+	}
+	if want != 3 {
+		t.Fatalf("only %d waiters served", want)
+	}
+}
+
+// TestAdmissionShedWhenFull: with the gate and queue both full, acquire
+// sheds immediately with ErrShedded and counts it.
+func TestAdmissionShedWhenFull(t *testing.T) {
+	metrics := trace.NewRegistry()
+	a := newAdmission(1, 1, metrics, nil)
+	if _, err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	granted := make(chan struct{})
+	go func() {
+		if _, err := a.acquire(context.Background()); err == nil {
+			close(granted)
+		}
+	}()
+	waitQueueLen(t, a, 1)
+	if _, err := a.acquire(context.Background()); !errors.Is(err, ErrShedded) {
+		t.Fatalf("full gate returned %v, want ErrShedded", err)
+	}
+	if got := metrics.Snapshot().Counters["queries_shed_total"]; got != 1 {
+		t.Fatalf("queries_shed_total = %d, want 1", got)
+	}
+	a.release()
+	<-granted
+	a.release()
+	// Fully drained: the next acquire is immediate.
+	if wait, err := a.acquire(context.Background()); err != nil || wait != 0 {
+		t.Fatalf("drained gate: wait=%v err=%v", wait, err)
+	}
+}
+
+// TestAdmissionCancelWhileQueued: a queued query whose context is
+// cancelled unblocks with ctx.Err(), vacates its queue slot, and leaks
+// no executing slot.
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a := newAdmission(1, 2, trace.NewRegistry(), nil)
+	if _, err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	res := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(ctx)
+		res <- err
+	}()
+	waitQueueLen(t, a, 1)
+	cancel()
+	select {
+	case err := <-res:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter never returned")
+	}
+	waitQueueLen(t, a, 0) // the abandoned waiter vacated its queue slot
+	a.release()
+	if wait, err := a.acquire(context.Background()); err != nil || wait != 0 {
+		t.Fatalf("slot leaked past the cancelled waiter: wait=%v err=%v", wait, err)
+	}
+}
+
+// gatedWorldFetcher forwards to the simulated world but blocks every
+// fetch until the gate opens, so admitted queries stay executing for as
+// long as the test wants.
+type gatedWorldFetcher struct {
+	inner web.Fetcher
+	gate  chan struct{}
+}
+
+func (g *gatedWorldFetcher) Fetch(req *web.Request) (*web.Response, error) {
+	select {
+	case <-g.gate:
+	case <-req.Context().Done():
+		return nil, req.Context().Err()
+	}
+	return g.inner.Fetch(req)
+}
+
+// TestOverloadShedsFastAndExactly is the overload acceptance test: 64
+// concurrent queries against max-inflight 8 + queue 8. Exactly 8 execute,
+// 8 queue and 48 shed — each shed with ErrShedded in well under 10ms —
+// and once the load drains every admitted query completes with the same
+// answer. queries_shed_total matches the shed count exactly, and the 8
+// queued queries (and only they) report a positive AdmissionWait that is
+// excluded from Elapsed.
+func TestOverloadShedsFastAndExactly(t *testing.T) {
+	gate := make(chan struct{})
+	wb, err := New(Config{
+		Fetcher:     &gatedWorldFetcher{inner: sites.BuildWorld().Server, gate: gate},
+		Workers:     4,
+		MaxInFlight: 8,
+		QueueDepth:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ur.ParseQuery(wb.UR, wideCarQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 64
+	var (
+		wg        sync.WaitGroup
+		shedCount atomic.Int64
+		mu        sync.Mutex
+		answers   []string
+		waited    []time.Duration
+		elapsed   []time.Duration
+		slowShed  atomic.Int64 // sheds slower than the 10ms bound
+	)
+	start := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			t0 := time.Now()
+			res, qs, err := wb.QueryContext(context.Background(), q)
+			if errors.Is(err, ErrShedded) {
+				if time.Since(t0) >= 10*time.Millisecond {
+					slowShed.Add(1)
+				}
+				shedCount.Add(1)
+				return
+			}
+			if err != nil {
+				t.Errorf("admitted query failed: %v", err)
+				return
+			}
+			mu.Lock()
+			answers = append(answers, res.Relation.String())
+			waited = append(waited, qs.AdmissionWait)
+			elapsed = append(elapsed, qs.Elapsed)
+			mu.Unlock()
+		}()
+	}
+	close(start)
+
+	// No admitted query can finish while the fetch gate is closed, so the
+	// gate+queue occupancy only grows: exactly 16 get in, 48 shed.
+	deadline := time.Now().Add(10 * time.Second)
+	for shedCount.Load() < clients-16 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := shedCount.Load(); got != clients-16 {
+		t.Fatalf("sheds = %d before opening the gate, want %d", got, clients-16)
+	}
+	close(gate)
+	wg.Wait()
+
+	if slow := slowShed.Load(); slow != 0 {
+		t.Errorf("%d sheds took 10ms or longer", slow)
+	}
+	if len(answers) != 16 {
+		t.Fatalf("%d queries completed, want 16", len(answers))
+	}
+	for i, a := range answers {
+		if a != answers[0] {
+			t.Fatalf("answer %d differs from answer 0", i)
+		}
+	}
+	if got := wb.Metrics().Snapshot().Counters["queries_shed_total"]; got != clients-16 {
+		t.Errorf("queries_shed_total = %d, want %d", got, clients-16)
+	}
+	// Exactly the 8 queued queries saw a positive admission wait, and
+	// queue time is not folded into execution time: a queued query's
+	// Elapsed covers only its run after the gate opened.
+	queued := 0
+	for i, w := range waited {
+		if w > 0 {
+			queued++
+			if elapsed[i] <= 0 {
+				t.Errorf("queued query %d: elapsed = %v", i, elapsed[i])
+			}
+		}
+	}
+	if queued != 8 {
+		t.Errorf("%d queries report AdmissionWait > 0, want exactly the 8 queued ones", queued)
+	}
+}

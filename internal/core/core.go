@@ -84,6 +84,31 @@ type Config struct {
 	// query with the taxonomized per-site error instead of degrading to
 	// the surviving maximal objects.
 	Strict bool
+	// MaxInFlight caps concurrently executing queries (admission
+	// control). Excess queries wait in a bounded FIFO queue of QueueDepth
+	// and are shed with ErrShedded beyond that. 0 disables the gate.
+	MaxInFlight int
+	// QueueDepth bounds the admission wait queue behind MaxInFlight.
+	// 0 means no queue: with the gate full, queries shed immediately.
+	QueueDepth int
+	// Deadline is the per-maximal-object time budget: once an object has
+	// run this long, no new fetch or dependent-join invocation starts on
+	// its behalf and the object degrades out of the answer exactly like
+	// an unreachable site (Result.Degradation names the budget). 0
+	// disables budgets. Like the breaker, budgets trade byte-identical
+	// answers for bounded latency when the clock (not the simulated web)
+	// decides what completes.
+	Deadline time.Duration
+	// HedgeAfter issues a second attempt for any fetch still unanswered
+	// after this delay, taking the first success (tail-latency hedging;
+	// sits below the singleflight so only network attempts duplicate,
+	// never logical work). 0 disables hedging.
+	HedgeAfter time.Duration
+	// HostQueue bounds each per-host bulkhead's wait queue: fetches
+	// beyond HostLimit executing + HostQueue waiting are shed with an
+	// outage-classified error and the owning object degrades. 0 keeps
+	// the historical unbounded queue.
+	HostQueue int
 }
 
 // Webbase is an assembled three-layer webbase.
@@ -101,6 +126,8 @@ type Webbase struct {
 	metrics     *trace.Registry
 	retryBudget int64
 	strict      bool
+	admission   *admission
+	deadline    time.Duration
 }
 
 // Domain describes how to assemble the three layers of one application
@@ -147,27 +174,37 @@ func NewDomain(cfg Config, d Domain) (*Webbase, error) {
 
 	// The middleware stack, outermost first as a fetch traverses it:
 	//
-	//	cache → singleflight → outage memo → breaker → host limiter →
-	//	latency → counting → retry → raw
+	//	deadline budget → cache → singleflight → outage memo → breaker →
+	//	hedge → bulkhead → latency → counting → retry → raw
 	//
-	// Cache sits outermost so hits bypass everything; singleflight next so
-	// concurrent identical misses collapse to one fetch before anyone
-	// queues for a host slot; the per-query outage memo sits directly
-	// below singleflight so each request key's terminal verdict is decided
-	// exactly once and replayed schedule-independently; the breaker (when
-	// enabled) rejects before a doomed fetch can queue for a host slot;
-	// the limiter wraps the latency/counting pair so a fetch holds its
-	// host slot for the whole (simulated) network exchange; retry hugs the
-	// raw fetcher so each attempt is an independent transport try — and,
-	// being the innermost failure handler, it is also where terminal
-	// failures get classified as outages and attributed to their host.
+	// The deadline budget is outermost: a shed is this object's verdict
+	// about its own remaining time and must never leak into the shared
+	// cache/singleflight/memo layers. Cache next so hits bypass
+	// everything; singleflight so concurrent identical misses collapse to
+	// one fetch before anyone queues for a host slot; the per-query
+	// outage memo sits directly below singleflight so each request key's
+	// terminal verdict is decided exactly once and replayed
+	// schedule-independently; the breaker (when enabled) rejects before a
+	// doomed fetch can queue for a host slot, and it sits above the hedge
+	// so it records one verdict per logical fetch rather than one per
+	// attempt; the hedge duplicates only the network attempt (everything
+	// above it sees a single fetch); the bulkhead wraps the
+	// latency/counting pair so a
+	// fetch holds its host slot for the whole (simulated) network
+	// exchange; retry hugs the raw fetcher so each attempt is an
+	// independent transport try — and, being the innermost failure
+	// handler, it is also where terminal failures get classified as
+	// outages and attributed to their host.
 	raw := web.WithRetryPolicy(cfg.Fetcher,
 		web.RetryPolicy{Retries: cfg.Retries, Backoff: cfg.Backoff}, wb.stats)
 	f := web.Counting(raw, wb.stats)
 	if cfg.Latency != (web.LatencyModel{}) {
 		f = web.WithLatency(f, cfg.Latency, wb.stats)
 	}
-	f = web.WithHostLimit(f, hostLimit, wb.stats)
+	f = web.WithBulkhead(f, hostLimit, cfg.HostQueue, wb.stats)
+	if cfg.HedgeAfter > 0 {
+		f = web.WithHedge(f, cfg.HedgeAfter, wb.stats)
+	}
 	if cfg.Breaker != nil {
 		bc := *cfg.Breaker
 		if bc.Clock == nil {
@@ -185,7 +222,12 @@ func NewDomain(cfg Config, d Domain) (*Webbase, error) {
 		wb.cache.Clock = cfg.Clock
 		f = web.WithCache(f, wb.cache)
 	}
+	if cfg.Deadline > 0 {
+		f = web.WithDeadlineBudget(f, wb.stats)
+	}
 	wb.fetcher = f
+	wb.deadline = cfg.Deadline
+	wb.admission = newAdmission(cfg.MaxInFlight, cfg.QueueDepth, wb.metrics, cfg.Clock)
 
 	reg, err := d.Registry()
 	if err != nil {
@@ -262,12 +304,29 @@ type QueryStats struct {
 	// sites were unreachable (see Result.Degradation for the per-site
 	// detail).
 	DegradedObjects int
+	// AdmissionWait is how long the query sat in the admission gate's
+	// wait queue before executing. Elapsed deliberately excludes it —
+	// Elapsed times execution, AdmissionWait times queueing, and the two
+	// never double-count (LimiterWait, by contrast, happens during
+	// execution and is part of Elapsed).
+	AdmissionWait time.Duration
+	// Hedges counts fetches backed by a second attempt because the first
+	// had not answered within Config.HedgeAfter; HedgeWins counts those
+	// answered by the second attempt.
+	Hedges    int64
+	HedgeWins int64
+	// BulkheadSheds counts fetches shed by a saturated host bulkhead
+	// during this query.
+	BulkheadSheds int64
+	// BudgetSheds counts fetches refused because their object's deadline
+	// budget was exhausted during this query.
+	BudgetSheds int64
 }
 
 // String renders the stats line the experiment harness prints.
 func (qs *QueryStats) String() string {
-	return fmt.Sprintf("pages=%d bytes=%d elapsed=%v simulated-net=%v cache-hits=%d deduped=%d retries=%d stale=%d breaker-rejects=%d degraded-objects=%d peak-inflight=%d limiter-wait=%v",
-		qs.Pages, qs.Bytes, qs.Elapsed, qs.Simulated, qs.CacheHits, qs.Deduped, qs.Retries, qs.StaleServed, qs.BreakerRejects, qs.DegradedObjects, qs.PeakInFlight, qs.LimiterWait)
+	return fmt.Sprintf("pages=%d bytes=%d elapsed=%v simulated-net=%v cache-hits=%d deduped=%d retries=%d stale=%d breaker-rejects=%d degraded-objects=%d peak-inflight=%d limiter-wait=%v admission-wait=%v hedges=%d hedge-wins=%d bulkhead-shed=%d budget-shed=%d",
+		qs.Pages, qs.Bytes, qs.Elapsed, qs.Simulated, qs.CacheHits, qs.Deduped, qs.Retries, qs.StaleServed, qs.BreakerRejects, qs.DegradedObjects, qs.PeakInFlight, qs.LimiterWait, qs.AdmissionWait, qs.Hedges, qs.HedgeWins, qs.BulkheadSheds, qs.BudgetSheds)
 }
 
 // Query evaluates a universal relation query end to end. Evaluation runs
@@ -293,9 +352,19 @@ func (wb *Webbase) QueryContext(ctx context.Context, q ur.Query) (*ur.Result, *Q
 // Pass the trace to ExplainAnalyze for the rendered plan, or Export it as
 // JSON. Tracing adds spans but never changes the answer: the result is
 // tuple-for-tuple identical to QueryContext's.
+//
+// A query the admission gate sheds returns a nil trace: it never
+// executed, so there is nothing to trace. Admission happens before the
+// root span starts, so queue time never inflates the trace's timings
+// (it is reported separately in QueryStats.AdmissionWait).
 func (wb *Webbase) QueryTraced(ctx context.Context, q ur.Query) (*ur.Result, *QueryStats, *trace.Trace, error) {
+	wait, err := wb.admission.acquire(ctx)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer wb.admission.release()
 	tr := trace.New(q.String(), wb.clock)
-	res, qs, err := wb.run(trace.ContextWith(ctx, tr.Root), q)
+	res, qs, err := wb.runAdmitted(trace.ContextWith(ctx, tr.Root), q, wait)
 	if err != nil {
 		tr.Root.EndErr(err)
 		return nil, nil, tr, err
@@ -305,17 +374,30 @@ func (wb *Webbase) QueryTraced(ctx context.Context, q ur.Query) (*ur.Result, *Qu
 	return res, qs, tr, nil
 }
 
-// run is the common evaluation path of Query, QueryContext and
-// QueryTraced: per-query stats delta, bounded worker pool, metrics
-// observation.
+// run is the common evaluation path of Query and QueryContext: admission,
+// then execution.
 func (wb *Webbase) run(ctx context.Context, q ur.Query) (*ur.Result, *QueryStats, error) {
+	wait, err := wb.admission.acquire(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer wb.admission.release()
+	return wb.runAdmitted(ctx, q, wait)
+}
+
+// runAdmitted evaluates an already-admitted query: per-query stats delta,
+// bounded worker pool, metrics observation. The execution clock starts
+// here — after admission — so queue time appears only in AdmissionWait,
+// never in Elapsed or in span durations.
+func (wb *Webbase) runAdmitted(ctx context.Context, q ur.Query, admissionWait time.Duration) (*ur.Result, *QueryStats, error) {
 	before := wb.snapshot()
 	start := wb.now()
 	ctx = algebra.WithPool(ctx, algebra.NewPool(wb.workers))
 	// Per-query fault-tolerance state: the outage memo replays terminal
 	// site failures within this query; the retry budget (when configured)
 	// caps this query's total re-issued attempts; strict mode turns
-	// degradation back into fail-fast.
+	// degradation back into fail-fast; the budget policy lets the UR
+	// layer mint one deadline budget per maximal object.
 	ctx = web.ContextWithOutageMemo(ctx, web.NewOutageMemo())
 	if wb.retryBudget > 0 {
 		ctx = web.ContextWithRetryBudget(ctx, web.NewRetryBudget(wb.retryBudget))
@@ -323,12 +405,16 @@ func (wb *Webbase) run(ctx context.Context, q ur.Query) (*ur.Result, *QueryStats
 	if wb.strict {
 		ctx = ur.WithStrict(ctx)
 	}
+	if wb.deadline > 0 {
+		ctx = web.ContextWithBudgetPolicy(ctx, web.BudgetPolicy{Deadline: wb.deadline, Clock: wb.clock})
+	}
 	res, err := wb.UR.EvalContext(ctx, q, wb.Logical)
 	if err != nil {
 		wb.metrics.Counter("queries_failed_total").Add(1)
 		return nil, nil, err
 	}
 	qs := wb.delta(before, wb.now().Sub(start))
+	qs.AdmissionWait = admissionWait
 	// Degradation is reported whenever the answer differs from (or was
 	// rescued relative to) the fully-healthy one: objects lost to
 	// outages, or pages served stale.
@@ -354,6 +440,10 @@ func (wb *Webbase) observe(qs *QueryStats) {
 	m.Counter("retries_total").Add(qs.Retries)
 	m.Counter("stale_served_total").Add(qs.StaleServed)
 	m.Counter("breaker_rejects_total").Add(qs.BreakerRejects)
+	m.Counter("fetch_hedges_total").Add(qs.Hedges)
+	m.Counter("hedge_wins_total").Add(qs.HedgeWins)
+	m.Counter("bulkhead_shed_total").Add(qs.BulkheadSheds)
+	m.Counter("budget_shed_total").Add(qs.BudgetSheds)
 	if qs.DegradedObjects > 0 {
 		m.Counter("queries_degraded_total").Add(1)
 		m.Counter("objects_unavailable_total").Add(int64(qs.DegradedObjects))
@@ -361,6 +451,9 @@ func (wb *Webbase) observe(qs *QueryStats) {
 	m.Gauge("peak_inflight").SetMax(qs.PeakInFlight)
 	m.Histogram("query_elapsed_seconds", 0.001, 0.01, 0.1, 1, 10).Observe(qs.Elapsed.Seconds())
 	m.Histogram("query_pages", 1, 5, 10, 50, 100, 500).Observe(float64(qs.Pages))
+	if qs.AdmissionWait > 0 {
+		m.Histogram("admission_wait_seconds", 0.001, 0.01, 0.1, 1, 10).Observe(qs.AdmissionWait.Seconds())
+	}
 }
 
 // QueryString parses and evaluates the CLI query syntax
@@ -380,6 +473,7 @@ func (wb *Webbase) QueryStringContext(ctx context.Context, text string) (*ur.Res
 
 type statSnapshot struct {
 	pages, bytes, hits, deduped, retries, stale, breakerRejects int64
+	hedges, hedgeWins, bulkheadSheds, budgetSheds               int64
 	simulated, limiterWait                                      time.Duration
 }
 
@@ -392,6 +486,10 @@ func (wb *Webbase) snapshot() statSnapshot {
 		retries:        wb.stats.Retries(),
 		breakerRejects: wb.stats.BreakerRejects(),
 		limiterWait:    wb.stats.LimiterWait(),
+		hedges:         wb.stats.Hedges(),
+		hedgeWins:      wb.stats.HedgeWins(),
+		bulkheadSheds:  wb.stats.BulkheadSheds(),
+		budgetSheds:    wb.stats.BudgetSheds(),
 	}
 	if wb.cache != nil {
 		s.hits = wb.cache.Hits()
@@ -411,6 +509,10 @@ func (wb *Webbase) delta(before statSnapshot, elapsed time.Duration) *QueryStats
 		BreakerRejects: wb.stats.BreakerRejects() - before.breakerRejects,
 		LimiterWait:    wb.stats.LimiterWait() - before.limiterWait,
 		PeakInFlight:   wb.stats.PeakInFlight(),
+		Hedges:         wb.stats.Hedges() - before.hedges,
+		HedgeWins:      wb.stats.HedgeWins() - before.hedgeWins,
+		BulkheadSheds:  wb.stats.BulkheadSheds() - before.bulkheadSheds,
+		BudgetSheds:    wb.stats.BudgetSheds() - before.budgetSheds,
 	}
 	if wb.cache != nil {
 		qs.CacheHits = wb.cache.Hits() - before.hits

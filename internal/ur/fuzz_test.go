@@ -1,0 +1,88 @@
+package ur
+
+import (
+	"testing"
+)
+
+// FuzzParseQuery drives the end-user query parser with arbitrary text: it
+// must never panic, must terminate, and every successful parse must
+// satisfy the Query invariants the planner depends on. The seed corpus is
+// the golden queries exercised across the used-car and apartment domains
+// plus the malformed shapes the parser rejects by hand. Run with
+// `go test -fuzz=FuzzParseQuery ./internal/ur` to search beyond the seeds.
+func FuzzParseQuery(f *testing.F) {
+	schema, err := UsedCarUR()
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds := []string{
+		// Golden queries from the used-car domain.
+		"SELECT Make, Model, Year, Price, BBPrice, Contact WHERE Make = 'jaguar' AND Year >= 1993 AND Safety = 'good' AND Condition = 'good' AND Price < BBPrice",
+		"SELECT Make, Model, Year, Price WHERE Make = 'ford' AND Model = 'escort'",
+		"SELECT Make, Model, Year, Price, Safety WHERE Make = 'honda' AND Model = 'civic'",
+		"SELECT Make, Model, Year, Price WHERE Make = 'saab' ORDER BY Price LIMIT 3",
+		"SELECT Make, Price WHERE Make = 'jaguar' AND Year >= 1993 AND Price < BBPrice AND Condition = 'good'",
+		// Golden queries from the apartment domain (parsed against the
+		// used-car UR these are just unknown attributes, still legal text).
+		"SELECT Neighborhood, Bedrooms, Rent, MedianRent, CrimeRate, Contact WHERE Borough = 'brooklyn' AND Bedrooms = 2 AND Rent < MedianRent",
+		"SELECT Neighborhood, Rent, Fee WHERE Borough = 'manhattan' AND Bedrooms = 1 ORDER BY Fee LIMIT 5",
+		// Clause soup and shapes the parser rejects.
+		"",
+		"select",
+		"SELECT",
+		"SELECT WHERE LIMIT",
+		"SELECT Make WHERE",
+		"SELECT Make WHERE Make",
+		"SELECT Make WHERE Make = ",
+		"SELECT Make WHERE = 'ford'",
+		"SELECT Make WHERE Make = 'unterminated",
+		"SELECT Make ORDER BY",
+		"SELECT Make ORDER BY Price wat",
+		"SELECT Make LIMIT -1",
+		"SELECT Make LIMIT nine",
+		"SELECT Make, , Model",
+		"SELECT Make WHERE Price <= BBPrice AND Year != 1993 AND Make > 'a'",
+		"select make, model where make = \"ford\" order by year desc, price limit 2",
+		"SELECT Make WHERE Make = 'a' AND AND Year = 1",
+		"SELECT Make WHERE androids and and",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		q, err := ParseQuery(schema, text)
+		if err != nil {
+			return
+		}
+		// Invariants of a successful parse.
+		if len(q.Output) == 0 {
+			t.Fatalf("parse of %q succeeded with no output attributes", text)
+		}
+		for _, a := range q.Output {
+			if a == "" {
+				t.Fatalf("parse of %q produced an empty output attribute", text)
+			}
+		}
+		for _, c := range q.Conditions {
+			if c.Attr == "" {
+				t.Fatalf("parse of %q produced a condition without an attribute", text)
+			}
+		}
+		for _, k := range q.OrderBy {
+			if k.Attr == "" {
+				t.Fatalf("parse of %q produced an ORDER BY key without an attribute", text)
+			}
+		}
+		if q.Limit < 0 {
+			t.Fatalf("parse of %q produced negative LIMIT %d", text, q.Limit)
+		}
+		// Parsing is deterministic: a second parse agrees exactly.
+		q2, err := ParseQuery(schema, text)
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", text, err)
+		}
+		if q.String() != q2.String() {
+			t.Fatalf("reparse of %q disagrees:\n%s\n%s", text, q, q2)
+		}
+	})
+}

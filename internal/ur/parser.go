@@ -131,24 +131,26 @@ func unquote(s string) (string, bool) {
 }
 
 // indexFold finds the first case-insensitive occurrence of the word,
-// delimited by spaces or string boundaries.
+// delimited by spaces or string boundaries. It matches in place with
+// EqualFold rather than searching a ToLower'd copy: lowering can change
+// the byte length of malformed or non-ASCII input, and an index into the
+// lowered string is then not a valid index into s (the fuzzer found the
+// resulting slice panic). word must be ASCII, so an equal-byte-length
+// fold match can only ever be an ASCII match.
 func indexFold(s, word string) int {
-	ls, lw := strings.ToLower(s), strings.ToLower(word)
-	from := 0
-	for {
-		i := strings.Index(ls[from:], lw)
-		if i < 0 {
-			return -1
+	lw := len(word)
+	for i := 0; i+lw <= len(s); i++ {
+		if !strings.EqualFold(s[i:i+lw], word) {
+			continue
 		}
-		i += from
-		beforeOK := i == 0 || ls[i-1] == ' '
-		after := i + len(lw)
-		afterOK := after == len(ls) || ls[after] == ' '
+		beforeOK := i == 0 || s[i-1] == ' '
+		after := i + lw
+		afterOK := after == len(s) || s[after] == ' '
 		if beforeOK && afterOK {
 			return i
 		}
-		from = i + 1
 	}
+	return -1
 }
 
 // splitFold splits on the standalone word (case-insensitive).

@@ -374,6 +374,15 @@ func (s *Schema) EvalContext(ctx context.Context, q Query, cat algebra.Catalog) 
 		if sps != nil {
 			octx = trace.ContextWith(ctx, sps[i])
 		}
+		// Deadline budget: each maximal object gets its own, minted at
+		// its own evaluation start. A single query-wide budget would make
+		// sequential evaluation burn the later objects' time while the
+		// earlier ones run, degrading differently at Workers=1 and
+		// Workers=8; a per-object clock keeps exhaustion a property of
+		// the object, not of the schedule.
+		if b := web.BudgetPolicyFrom(ctx).NewBudget(); b != nil {
+			octx = web.ContextWithBudget(octx, b)
+		}
 		// The paper: "once translated, these queries can be optimized
 		// and evaluated by standard query evaluation techniques."
 		rel, err := algebra.EvalContext(octx, algebra.Optimize(plan.Objects[i].Expr, cat), cat, nil)
@@ -381,6 +390,12 @@ func (s *Schema) EvalContext(ctx context.Context, q Query, cat algebra.Catalog) 
 		if sps != nil {
 			if rel != nil {
 				sps[i].Set("tuples", int64(rel.Len()))
+			}
+			if web.IsBudgetExhausted(err) {
+				// Deterministic counter (rendered by EXPLAIN ANALYZE)
+				// marking that this object died of budget exhaustion,
+				// not of a site fault.
+				sps[i].Set("budget-exhausted", 1)
 			}
 			sps[i].EndErr(err)
 		}

@@ -2,6 +2,7 @@ package web
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"webbase/internal/trace"
@@ -57,33 +58,81 @@ func WithSingleflight(inner Fetcher, stats *Stats) Fetcher {
 
 // WithHostLimit wraps inner with a per-host concurrency cap: at most
 // perHost fetches execute against any one host at a time; excess fetches
-// queue. This is the politeness guarantee that lets query evaluation run
-// wide without turning the webbase into a load test of somebody's server.
-// Waiting time accumulates in stats.LimiterWait and the global in-flight
-// high-water mark in stats.PeakInFlight. perHost <= 0 disables the cap
-// (inner is returned unwrapped).
+// queue without bound — the historical PR 1 behavior, equivalent to
+// WithBulkhead with an unbounded wait queue. perHost <= 0 disables the
+// cap (inner is returned unwrapped).
+func WithHostLimit(inner Fetcher, perHost int, stats *Stats) Fetcher {
+	return WithBulkhead(inner, perHost, 0, stats)
+}
+
+// WithBulkhead wraps inner with a per-host bulkhead: at most perHost
+// fetches execute against any one host at a time, at most maxQueue more
+// wait behind them, and fetches beyond that are shed immediately with an
+// outage-classified ErrHostSaturated so the owning maximal object
+// degrades instead of camping on a worker-pool slot. This is how one
+// slow-but-alive host is kept from absorbing the whole query's
+// concurrency: the politeness cap of PR 1 plus a bound on how much work
+// is allowed to pile up behind it. maxQueue <= 0 means an unbounded
+// queue (no shedding); perHost <= 0 disables the bulkhead entirely.
+//
+// Queued fetches honor context cancellation, and blocked senders on the
+// slot channel are woken in arrival order, so waiters that do run are
+// served FIFO-ish. Waiting time accumulates in stats.LimiterWait, sheds
+// in stats.BulkheadSheds, and the global in-flight high-water mark in
+// stats.PeakInFlight.
+//
+// Like the circuit breaker, a saturation shed trades the byte-identical
+// answer for bounded resource use: whether a fetch sheds depends on how
+// much load is in front of it, which is a property of the schedule. Runs
+// that need byte-identical answers under overload should bound load at
+// admission (core's gate) rather than per host.
 //
 // Fetches never hold one host's slot while waiting for another's, so the
-// limiter cannot deadlock.
-func WithHostLimit(inner Fetcher, perHost int, stats *Stats) Fetcher {
+// bulkhead cannot deadlock.
+func WithBulkhead(inner Fetcher, perHost, maxQueue int, stats *Stats) Fetcher {
 	if perHost <= 0 {
 		return inner
 	}
+	type bulkhead struct {
+		sem     chan struct{}
+		waiting atomic.Int64
+	}
 	var mu sync.Mutex
-	slots := make(map[string]chan struct{})
+	hosts := make(map[string]*bulkhead)
 	return FetcherFunc(func(req *Request) (*Response, error) {
 		host := hostOf(req.URL)
 		mu.Lock()
-		sem, ok := slots[host]
+		bh, ok := hosts[host]
 		if !ok {
-			sem = make(chan struct{}, perHost)
-			slots[host] = sem
+			bh = &bulkhead{sem: make(chan struct{}, perHost)}
+			hosts[host] = bh
 		}
 		mu.Unlock()
 
 		start := time.Now()
-		sem <- struct{}{}
-		defer func() { <-sem }()
+		select {
+		case bh.sem <- struct{}{}:
+		default:
+			// Every slot is busy: join the wait queue, bounded when
+			// maxQueue > 0. Add-then-check keeps the bound exact under
+			// concurrent arrivals.
+			if w := bh.waiting.Add(1); maxQueue > 0 && w > int64(maxQueue) {
+				bh.waiting.Add(-1)
+				if stats != nil {
+					stats.bulkheadSheds.Add(1)
+				}
+				trace.FromContext(req.Context()).Label("outcome", "host-saturated")
+				return nil, MarkOutage(&HostError{Host: host, Err: ErrHostSaturated})
+			}
+			select {
+			case bh.sem <- struct{}{}:
+				bh.waiting.Add(-1)
+			case <-req.Context().Done():
+				bh.waiting.Add(-1)
+				return nil, req.Context().Err()
+			}
+		}
+		defer func() { <-bh.sem }()
 		if stats != nil {
 			stats.limiterWait.Add(int64(time.Since(start)))
 			in := stats.inflight.Add(1)

@@ -1,6 +1,7 @@
 package web
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -263,6 +264,154 @@ func TestHostLimitDisabled(t *testing.T) {
 	}
 	if f := WithHostLimit(inner, -1, nil); f != Fetcher(inner) {
 		t.Error("negative cap should return inner unwrapped")
+	}
+}
+
+// gatedInner blocks every fetch on a gate channel so tests can hold host
+// slots occupied deterministically.
+type gatedInner struct {
+	gate    chan struct{}
+	started chan string // receives the URL as each fetch begins executing
+}
+
+func newGatedInner() *gatedInner {
+	return &gatedInner{gate: make(chan struct{}), started: make(chan string, 64)}
+}
+
+func (g *gatedInner) Fetch(req *Request) (*Response, error) {
+	g.started <- req.URL
+	<-g.gate
+	return HTML(req.URL, "<html></html>"), nil
+}
+
+// TestBulkheadShedsWhenSaturated drives a perHost=1, maxQueue=1 bulkhead
+// to saturation: one fetch executing, one queued, and the third must shed
+// immediately with an outage-classified ErrHostSaturated — while another
+// host proceeds untouched.
+func TestBulkheadShedsWhenSaturated(t *testing.T) {
+	inner := newGatedInner()
+	stats := &Stats{}
+	f := WithBulkhead(inner, 1, 1, stats)
+
+	// Occupy the single slot.
+	first := make(chan error, 1)
+	go func() {
+		_, err := f.Fetch(NewGet("http://one.example/a"))
+		first <- err
+	}()
+	<-inner.started
+
+	// Fill the wait queue.
+	second := make(chan error, 1)
+	go func() {
+		_, err := f.Fetch(NewGet("http://one.example/b"))
+		second <- err
+	}()
+	// The queued fetch never reaches inner, so give it a moment to
+	// register in the wait queue before saturating it. If the third
+	// fetch were to arrive before the second queued, it would queue
+	// instead of shed — the timeout below catches that (rare) schedule.
+	time.Sleep(50 * time.Millisecond)
+	third := make(chan error, 1)
+	go func() {
+		_, err := f.Fetch(NewGet("http://one.example/c"))
+		third <- err
+	}()
+	var shedErr error
+	select {
+	case shedErr = <-third:
+	case <-time.After(2 * time.Second):
+		t.Fatal("third fetch neither shed nor returned (queued against a closed gate?)")
+	}
+	if shedErr == nil {
+		t.Fatal("third fetch completed against a closed gate")
+	}
+	if !errors.Is(shedErr, ErrHostSaturated) {
+		t.Fatalf("shed error %v does not match ErrHostSaturated", shedErr)
+	}
+	if !IsOutage(shedErr) {
+		t.Fatalf("shed error %v is not outage-classified", shedErr)
+	}
+	if host := FailingHost(shedErr); host != "one.example" {
+		t.Fatalf("shed attributed to %q, want one.example", host)
+	}
+	if got := stats.BulkheadSheds(); got < 1 {
+		t.Fatalf("bulkhead sheds = %d, want >= 1", got)
+	}
+
+	// A different host is isolated from the saturation.
+	otherDone := make(chan error, 1)
+	go func() {
+		_, err := f.Fetch(NewGet("http://two.example/x"))
+		otherDone <- err
+	}()
+	<-inner.started // two.example reached inner despite one.example being full
+
+	// Open the gate: the occupant, the queued fetch and the other host
+	// all complete.
+	close(inner.gate)
+	for name, ch := range map[string]chan error{"first": first, "second": second, "other": otherDone} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Errorf("%s fetch failed after gate opened: %v", name, err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("%s fetch never completed", name)
+		}
+	}
+}
+
+// TestBulkheadQueuedFetchHonorsCancellation pins that a fetch parked in
+// the bulkhead's wait queue unblocks when its context is cancelled.
+func TestBulkheadQueuedFetchHonorsCancellation(t *testing.T) {
+	inner := newGatedInner()
+	f := WithBulkhead(inner, 1, 0, nil)
+
+	go f.Fetch(NewGet("http://one.example/a")) // occupies the slot forever
+	<-inner.started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	queued := make(chan error, 1)
+	go func() {
+		_, err := f.Fetch(NewGet("http://one.example/b").WithContext(ctx))
+		queued <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let it queue
+	cancel()
+	select {
+	case err := <-queued:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled queued fetch never returned")
+	}
+	close(inner.gate)
+}
+
+// TestBulkheadUnboundedQueueNeverSheds pins WithHostLimit compatibility:
+// maxQueue=0 queues without bound, the historical PR 1 behavior.
+func TestBulkheadUnboundedQueueNeverSheds(t *testing.T) {
+	inner := newCountingInner(time.Millisecond)
+	stats := &Stats{}
+	f := WithBulkhead(inner, 1, 0, stats)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := f.Fetch(NewGet(fmt.Sprintf("http://one.example/p%d", i))); err != nil {
+				t.Errorf("fetch %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if stats.BulkheadSheds() != 0 {
+		t.Errorf("unbounded queue shed %d fetches", stats.BulkheadSheds())
+	}
+	if inner.Calls() != 32 {
+		t.Errorf("inner calls = %d, want 32", inner.Calls())
 	}
 }
 

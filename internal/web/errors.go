@@ -66,6 +66,9 @@ var (
 	// ErrCircuitOpen is the cause recorded when the circuit breaker
 	// rejects a fetch without touching the network.
 	ErrCircuitOpen = errors.New("web: circuit breaker open")
+	// ErrHostSaturated is the cause recorded when a host bulkhead sheds
+	// a fetch because both its slots and its wait queue are full.
+	ErrHostSaturated = errors.New("web: host bulkhead saturated")
 )
 
 // classified attaches a FaultClass to an error chain. It matches the

@@ -305,7 +305,14 @@ func WithOutageMemo(inner Fetcher) Fetcher {
 			return nil, err
 		}
 		resp, err := inner.Fetch(req)
-		if err != nil && IsOutage(err) {
+		// Budget exhaustion is outage-classified so the UR layer degrades
+		// around it, but it is a statement about the calling object's
+		// remaining time, not about the site — memoizing it would replay
+		// "out of time" to objects whose budgets are healthy. (The budget
+		// middleware sits above this one, so such errors only pass here if
+		// the stack is ever reordered; the guard keeps the invariant
+		// explicit.)
+		if err != nil && IsOutage(err) && !IsBudgetExhausted(err) {
 			memo.record(key, err)
 		}
 		return resp, err

@@ -27,8 +27,14 @@ type Stats struct {
 	// breakerRejects counts fetches the circuit breaker refused without
 	// touching the network.
 	breakerRejects atomic.Int64
-	mu             sync.Mutex
-	perHost        map[string]int64
+	// Overload-protection counters, maintained by WithHedge, WithBulkhead
+	// and WithDeadlineBudget.
+	hedges        atomic.Int64
+	hedgeWins     atomic.Int64
+	bulkheadSheds atomic.Int64
+	budgetSheds   atomic.Int64
+	mu            sync.Mutex
+	perHost       map[string]int64
 }
 
 // Pages returns the number of successful fetches observed.
@@ -66,6 +72,22 @@ func (s *Stats) Retries() int64 { return s.retries.Load() }
 // BreakerRejects returns how many fetches an open circuit breaker
 // rejected without touching the network.
 func (s *Stats) BreakerRejects() int64 { return s.breakerRejects.Load() }
+
+// Hedges returns how many fetches WithHedge backed with a second
+// attempt because the first had not answered within the hedge delay.
+func (s *Stats) Hedges() int64 { return s.hedges.Load() }
+
+// HedgeWins returns how many hedged fetches were answered by the second
+// attempt rather than the first.
+func (s *Stats) HedgeWins() int64 { return s.hedgeWins.Load() }
+
+// BulkheadSheds returns how many fetches a saturated host bulkhead shed
+// without queueing.
+func (s *Stats) BulkheadSheds() int64 { return s.bulkheadSheds.Load() }
+
+// BudgetSheds returns how many fetches were refused because their
+// evaluation unit's deadline budget was exhausted.
+func (s *Stats) BudgetSheds() int64 { return s.budgetSheds.Load() }
 
 // PerHost returns a copy of the per-host page counts.
 func (s *Stats) PerHost() map[string]int64 {

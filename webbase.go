@@ -146,6 +146,22 @@ var (
 	// FailingHost names the host a failure is attributed to ("" when
 	// unattributed).
 	FailingHost = web.FailingHost
+	// IsBudgetExhausted reports that a query (or one of its objects) was
+	// degraded because its Config.Deadline budget ran out.
+	IsBudgetExhausted = web.IsBudgetExhausted
+)
+
+// Overload-protection sentinels. Match with errors.Is.
+var (
+	// ErrShedded is returned when the admission gate (Config.MaxInFlight /
+	// Config.QueueDepth) rejects a query without executing it.
+	ErrShedded = core.ErrShedded
+	// ErrHostSaturated is the cause recorded when a per-host bulkhead
+	// (Config.HostLimit / Config.HostQueue) sheds a fetch.
+	ErrHostSaturated = web.ErrHostSaturated
+	// ErrBudgetExhausted is the cause recorded when a deadline budget
+	// (Config.Deadline) refuses to start more work.
+	ErrBudgetExhausted = web.ErrBudgetExhausted
 )
 
 // Value constructors.

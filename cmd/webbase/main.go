@@ -55,6 +55,11 @@ func main() {
 		queueDepth  = flag.Int("queue-depth", 0, "admission control: bounded FIFO wait queue behind -max-inflight; excess queries shed immediately")
 		hedgeAfter  = flag.Duration("hedge-after", 0, "issue a second attempt for any fetch still unanswered after this delay (0 = off)")
 		hostQueue   = flag.Int("host-queue", 0, "per-host bulkhead wait-queue bound; fetches beyond it are shed (0 = unbounded)")
+		hedgeBudget = flag.Int64("hedge-budget", 0, "max hedged (duplicate) fetch attempts per query (0 = unlimited)")
+		queryClass  = flag.String("query-class", "interactive", "admission class: interactive (shed last) or batch (shed first)")
+		driftThr    = flag.Int("drift-threshold", 0, "drift reports that confirm a site redesign and quarantine the site (0 = default 2)")
+		maxRepairs  = flag.Int("max-repair-attempts", 0, "background remap attempts per quarantined site (0 = default 3)")
+		repairWait  = flag.Duration("repair-backoff", 0, "wait before the second remap attempt, doubling per attempt (0 = default 100ms)")
 	)
 	flag.Parse()
 
@@ -74,6 +79,18 @@ func main() {
 	cfg.QueueDepth = *queueDepth
 	cfg.HedgeAfter = *hedgeAfter
 	cfg.HostQueue = *hostQueue
+	cfg.HedgeBudget = *hedgeBudget
+	cfg.DriftThreshold = *driftThr
+	cfg.MaxRepairAttempts = *maxRepairs
+	cfg.RepairBackoff = *repairWait
+	switch *queryClass {
+	case "interactive":
+		cfg.QueryClass = webbase.ClassInteractive
+	case "batch":
+		cfg.QueryClass = webbase.ClassBatch
+	default:
+		fatal(fmt.Errorf("unknown -query-class %q (interactive or batch)", *queryClass))
+	}
 	if *breakerThr > 0 {
 		cfg.Breaker = &webbase.BreakerConfig{FailureRatio: *breakerThr}
 	}

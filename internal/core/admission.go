@@ -26,10 +26,52 @@ import (
 // pages were fetched, no trace was started, no stats were accrued.
 var ErrShedded = errors.New("core: query shed: admission gate and queue are full")
 
+// QueryClass is a query's admission priority. Under overload the gate
+// sheds the lowest class first: an arriving interactive query evicts a
+// queued batch query rather than being shed itself, and freed slots go to
+// the highest-class waiter. Classes never preempt executing queries —
+// they only decide who waits and who is shed.
+type QueryClass uint8
+
+const (
+	// ClassInteractive is the default: a user is waiting on the answer.
+	ClassInteractive QueryClass = iota
+	// ClassBatch marks background work (report sweeps, cache warmers)
+	// that should be the first shed under load.
+	ClassBatch
+)
+
+// String renders the class name used in shed metrics.
+func (c QueryClass) String() string {
+	if c == ClassBatch {
+		return "batch"
+	}
+	return "interactive"
+}
+
+// queryClassKey carries a per-query class override (see WithQueryClass).
+type queryClassKey struct{}
+
+// WithQueryClass marks ctx so queries issued under it are admitted at the
+// given class, overriding Config.QueryClass.
+func WithQueryClass(ctx context.Context, c QueryClass) context.Context {
+	return context.WithValue(ctx, queryClassKey{}, c)
+}
+
+func queryClassFrom(ctx context.Context, def QueryClass) QueryClass {
+	if c, ok := ctx.Value(queryClassKey{}).(QueryClass); ok {
+		return c
+	}
+	return def
+}
+
 // admitWaiter is one queued query; granted is closed by release when an
-// executing slot transfers to it.
+// executing slot transfers to it, shedded by an arriving higher-class
+// query that evicted it.
 type admitWaiter struct {
+	class   QueryClass
 	granted chan struct{}
+	shedded chan struct{}
 }
 
 // admission is the bounded gate. A nil *admission admits everything
@@ -61,11 +103,13 @@ func newAdmission(max, depth int, metrics *trace.Registry, clock func() time.Tim
 }
 
 // acquire blocks until the query may execute, returning how long it
-// waited in the queue. When the gate and the queue are both full it
-// returns ErrShedded without blocking; when ctx is cancelled while
-// queued it returns ctx.Err(). The caller must release() after a nil
-// error, and must not after a non-nil one.
-func (a *admission) acquire(ctx context.Context) (time.Duration, error) {
+// waited in the queue. When the gate and the queue are both full, a
+// query is shed — but class decides which one: an arriving query evicts
+// the newest queued waiter of a strictly lower class before shedding
+// itself. When ctx is cancelled while queued it returns ctx.Err(). The
+// caller must release() after a nil error, and must not after a non-nil
+// one.
+func (a *admission) acquire(ctx context.Context, class QueryClass) (time.Duration, error) {
 	if a == nil {
 		return 0, nil
 	}
@@ -76,11 +120,26 @@ func (a *admission) acquire(ctx context.Context) (time.Duration, error) {
 		return 0, nil
 	}
 	if len(a.queue) >= a.depth {
-		a.mu.Unlock()
-		a.metrics.Counter("queries_shed_total").Add(1)
-		return 0, ErrShedded
+		// Queue full: evict the newest waiter of the lowest class below
+		// ours (newest so the longest-waiting batch query is the last of
+		// its class to go); if nobody outranks, shed ourselves.
+		victim := -1
+		for i := len(a.queue) - 1; i >= 0; i-- {
+			if a.queue[i].class > class && (victim < 0 || a.queue[i].class > a.queue[victim].class) {
+				victim = i
+			}
+		}
+		if victim < 0 {
+			a.mu.Unlock()
+			a.shed(class)
+			return 0, ErrShedded
+		}
+		v := a.queue[victim]
+		a.queue = append(a.queue[:victim], a.queue[victim+1:]...)
+		close(v.shedded)
+		a.shed(v.class)
 	}
-	w := &admitWaiter{granted: make(chan struct{})}
+	w := &admitWaiter{class: class, granted: make(chan struct{}), shedded: make(chan struct{})}
 	a.queue = append(a.queue, w)
 	a.gaugeLocked()
 	a.mu.Unlock()
@@ -89,6 +148,8 @@ func (a *admission) acquire(ctx context.Context) (time.Duration, error) {
 	select {
 	case <-w.granted:
 		return a.clock().Sub(start), nil
+	case <-w.shedded:
+		return a.clock().Sub(start), ErrShedded
 	case <-ctx.Done():
 		a.mu.Lock()
 		select {
@@ -98,8 +159,8 @@ func (a *admission) acquire(ctx context.Context) (time.Duration, error) {
 			a.mu.Unlock()
 			a.release()
 		default:
-			// Not granted, so w is still queued (only release dequeues,
-			// under this lock, and it closes granted when it does).
+			// Not granted, so w is either still queued or was evicted
+			// (only release dequeues-and-grants, under this lock).
 			// Remove it so it stops occupying one of the depth slots.
 			for i, q := range a.queue {
 				if q == w {
@@ -114,8 +175,8 @@ func (a *admission) acquire(ctx context.Context) (time.Duration, error) {
 	}
 }
 
-// release returns a slot: the longest-waiting queued query (if any)
-// inherits it, otherwise the gate's inflight count drops.
+// release returns a slot: the highest-class queued query inherits it
+// (FIFO within a class), otherwise the gate's inflight count drops.
 func (a *admission) release() {
 	if a == nil {
 		return
@@ -123,14 +184,26 @@ func (a *admission) release() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if len(a.queue) > 0 {
-		w := a.queue[0]
-		a.queue = a.queue[1:]
+		best := 0
+		for i, q := range a.queue {
+			if q.class < a.queue[best].class {
+				best = i
+			}
+		}
+		w := a.queue[best]
+		a.queue = append(a.queue[:best], a.queue[best+1:]...)
 		// The slot transfers: inflight is unchanged.
 		close(w.granted)
 	} else {
 		a.inflight--
 	}
 	a.gaugeLocked()
+}
+
+// shed counts one shed query, overall and per class.
+func (a *admission) shed(class QueryClass) {
+	a.metrics.Counter("queries_shed_total").Add(1)
+	a.metrics.Counter(`queries_shed_total{class="` + class.String() + `"}`).Add(1)
 }
 
 // gaugeLocked publishes queue/inflight depth; a.mu must be held.

@@ -34,7 +34,7 @@ func waitQueueLen(t *testing.T, a *admission, n int) {
 // are granted the slot strictly in arrival order.
 func TestAdmissionGateFIFO(t *testing.T) {
 	a := newAdmission(1, 3, trace.NewRegistry(), nil)
-	if _, err := a.acquire(context.Background()); err != nil {
+	if _, err := a.acquire(context.Background(), ClassInteractive); err != nil {
 		t.Fatal(err)
 	}
 	order := make(chan int, 3)
@@ -43,7 +43,7 @@ func TestAdmissionGateFIFO(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if _, err := a.acquire(context.Background()); err != nil {
+			if _, err := a.acquire(context.Background(), ClassInteractive); err != nil {
 				t.Errorf("waiter %d: %v", i, err)
 				return
 			}
@@ -72,17 +72,17 @@ func TestAdmissionGateFIFO(t *testing.T) {
 func TestAdmissionShedWhenFull(t *testing.T) {
 	metrics := trace.NewRegistry()
 	a := newAdmission(1, 1, metrics, nil)
-	if _, err := a.acquire(context.Background()); err != nil {
+	if _, err := a.acquire(context.Background(), ClassInteractive); err != nil {
 		t.Fatal(err)
 	}
 	granted := make(chan struct{})
 	go func() {
-		if _, err := a.acquire(context.Background()); err == nil {
+		if _, err := a.acquire(context.Background(), ClassInteractive); err == nil {
 			close(granted)
 		}
 	}()
 	waitQueueLen(t, a, 1)
-	if _, err := a.acquire(context.Background()); !errors.Is(err, ErrShedded) {
+	if _, err := a.acquire(context.Background(), ClassInteractive); !errors.Is(err, ErrShedded) {
 		t.Fatalf("full gate returned %v, want ErrShedded", err)
 	}
 	if got := metrics.Snapshot().Counters["queries_shed_total"]; got != 1 {
@@ -92,7 +92,7 @@ func TestAdmissionShedWhenFull(t *testing.T) {
 	<-granted
 	a.release()
 	// Fully drained: the next acquire is immediate.
-	if wait, err := a.acquire(context.Background()); err != nil || wait != 0 {
+	if wait, err := a.acquire(context.Background(), ClassInteractive); err != nil || wait != 0 {
 		t.Fatalf("drained gate: wait=%v err=%v", wait, err)
 	}
 }
@@ -102,13 +102,13 @@ func TestAdmissionShedWhenFull(t *testing.T) {
 // no executing slot.
 func TestAdmissionCancelWhileQueued(t *testing.T) {
 	a := newAdmission(1, 2, trace.NewRegistry(), nil)
-	if _, err := a.acquire(context.Background()); err != nil {
+	if _, err := a.acquire(context.Background(), ClassInteractive); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	res := make(chan error, 1)
 	go func() {
-		_, err := a.acquire(ctx)
+		_, err := a.acquire(ctx, ClassInteractive)
 		res <- err
 	}()
 	waitQueueLen(t, a, 1)
@@ -123,8 +123,167 @@ func TestAdmissionCancelWhileQueued(t *testing.T) {
 	}
 	waitQueueLen(t, a, 0) // the abandoned waiter vacated its queue slot
 	a.release()
-	if wait, err := a.acquire(context.Background()); err != nil || wait != 0 {
+	if wait, err := a.acquire(context.Background(), ClassInteractive); err != nil || wait != 0 {
 		t.Fatalf("slot leaked past the cancelled waiter: wait=%v err=%v", wait, err)
+	}
+}
+
+// TestAdmissionInteractiveEvictsQueuedBatch: with the gate and queue
+// full, an arriving interactive query is not shed — it evicts the newest
+// queued batch waiter (who gets ErrShedded) and takes the queue slot. The
+// shed is attributed to the batch class.
+func TestAdmissionInteractiveEvictsQueuedBatch(t *testing.T) {
+	metrics := trace.NewRegistry()
+	a := newAdmission(1, 2, metrics, nil)
+	if _, err := a.acquire(context.Background(), ClassInteractive); err != nil {
+		t.Fatal(err)
+	}
+	batchErr := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := a.acquire(context.Background(), ClassBatch)
+			batchErr <- err
+		}()
+		waitQueueLen(t, a, i+1)
+	}
+	granted := make(chan struct{})
+	go func() {
+		if _, err := a.acquire(context.Background(), ClassInteractive); err != nil {
+			t.Errorf("interactive query shed despite a batch victim: %v", err)
+			return
+		}
+		close(granted)
+	}()
+	// The eviction is synchronous: the newest batch waiter is gone before
+	// the interactive query even starts waiting.
+	select {
+	case err := <-batchErr:
+		if !errors.Is(err, ErrShedded) {
+			t.Fatalf("evicted batch waiter got %v, want ErrShedded", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no batch waiter was evicted")
+	}
+	snap := metrics.Snapshot()
+	if got := snap.Counters[`queries_shed_total{class="batch"}`]; got != 1 {
+		t.Errorf(`queries_shed_total{class="batch"} = %d, want 1`, got)
+	}
+	if got := snap.Counters["queries_shed_total"]; got != 1 {
+		t.Errorf("queries_shed_total = %d, want 1", got)
+	}
+	// Freed slot goes to the interactive waiter, not the older batch one.
+	a.release()
+	select {
+	case <-granted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("interactive waiter not granted the freed slot")
+	}
+	a.release() // interactive done; the surviving batch waiter runs
+	select {
+	case err := <-batchErr:
+		if err != nil {
+			t.Fatalf("surviving batch waiter: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("surviving batch waiter never granted")
+	}
+	a.release()
+}
+
+// TestAdmissionBatchNeverEvicts: a batch query arriving at a full queue
+// sheds itself — even when every queued waiter is interactive — and the
+// shed is attributed to the batch class. Same-class arrivals never evict
+// either (no churn among equals).
+func TestAdmissionBatchNeverEvicts(t *testing.T) {
+	metrics := trace.NewRegistry()
+	a := newAdmission(1, 1, metrics, nil)
+	if _, err := a.acquire(context.Background(), ClassInteractive); err != nil {
+		t.Fatal(err)
+	}
+	granted := make(chan struct{})
+	go func() {
+		if _, err := a.acquire(context.Background(), ClassInteractive); err == nil {
+			close(granted)
+		}
+	}()
+	waitQueueLen(t, a, 1)
+	if _, err := a.acquire(context.Background(), ClassBatch); !errors.Is(err, ErrShedded) {
+		t.Fatalf("batch arrival got %v, want ErrShedded", err)
+	}
+	if _, err := a.acquire(context.Background(), ClassInteractive); !errors.Is(err, ErrShedded) {
+		t.Fatalf("same-class arrival got %v, want ErrShedded (no equal-class eviction)", err)
+	}
+	snap := metrics.Snapshot()
+	if got := snap.Counters[`queries_shed_total{class="batch"}`]; got != 1 {
+		t.Errorf(`queries_shed_total{class="batch"} = %d, want 1`, got)
+	}
+	if got := snap.Counters[`queries_shed_total{class="interactive"}`]; got != 1 {
+		t.Errorf(`queries_shed_total{class="interactive"} = %d, want 1`, got)
+	}
+	waitQueueLen(t, a, 1) // the interactive waiter still holds its place
+	a.release()
+	<-granted
+	a.release()
+}
+
+// TestAdmissionReleaseGrantsInteractiveFirst: a freed slot goes to the
+// highest class in the queue, FIFO within the class — queued batch work
+// waits out every queued interactive query but is never starved of its
+// arrival order among batch peers.
+func TestAdmissionReleaseGrantsInteractiveFirst(t *testing.T) {
+	a := newAdmission(1, 4, trace.NewRegistry(), nil)
+	if _, err := a.acquire(context.Background(), ClassInteractive); err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan string, 4)
+	var wg sync.WaitGroup
+	enqueue := func(name string, class QueryClass) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := a.acquire(context.Background(), class); err != nil {
+				t.Errorf("%s: %v", name, err)
+				return
+			}
+			order <- name
+			a.release()
+		}()
+	}
+	// Arrival order: batch-1, interactive-1, batch-2, interactive-2.
+	for i, e := range []struct {
+		name  string
+		class QueryClass
+	}{
+		{"batch-1", ClassBatch},
+		{"interactive-1", ClassInteractive},
+		{"batch-2", ClassBatch},
+		{"interactive-2", ClassInteractive},
+	} {
+		enqueue(e.name, e.class)
+		waitQueueLen(t, a, i+1)
+	}
+	a.release() // hand the slot down the chain
+	wg.Wait()
+	close(order)
+	want := []string{"interactive-1", "interactive-2", "batch-1", "batch-2"}
+	i := 0
+	for got := range order {
+		if got != want[i] {
+			t.Fatalf("service order[%d] = %s, want %s", i, got, want[i])
+		}
+		i++
+	}
+}
+
+// TestQueryClassFromContext: WithQueryClass overrides the webbase default
+// for one query; absent an override the configured default applies.
+func TestQueryClassFromContext(t *testing.T) {
+	if got := queryClassFrom(context.Background(), ClassBatch); got != ClassBatch {
+		t.Errorf("default class = %v, want batch", got)
+	}
+	ctx := WithQueryClass(context.Background(), ClassInteractive)
+	if got := queryClassFrom(ctx, ClassBatch); got != ClassInteractive {
+		t.Errorf("override class = %v, want interactive", got)
 	}
 }
 

@@ -18,7 +18,10 @@ import (
 	"time"
 
 	"webbase/internal/algebra"
+	"webbase/internal/health"
 	"webbase/internal/logical"
+	"webbase/internal/mapbuilder"
+	"webbase/internal/navmap"
 	"webbase/internal/relation"
 	"webbase/internal/trace"
 	"webbase/internal/ur"
@@ -109,6 +112,27 @@ type Config struct {
 	// outage-classified error and the owning object degrades. 0 keeps
 	// the historical unbounded queue.
 	HostQueue int
+	// HedgeBudget caps the total hedged (duplicate) attempts any single
+	// query may spend across all of its fetches; beyond it, slow fetches
+	// wait for their primary attempt instead of doubling load. 0 =
+	// unlimited (every eligible fetch may hedge).
+	HedgeBudget int64
+	// QueryClass is the default admission class of this webbase's
+	// queries; WithQueryClass overrides it per query. Under overload the
+	// gate sheds ClassBatch before ClassInteractive.
+	QueryClass QueryClass
+	// DriftThreshold is how many drift-degraded queries confirm a site
+	// redesign and quarantine the site (self-healing; active only when
+	// the Domain supplies SampleInputs). <= 0 means 2 — one bad page
+	// never triggers a remap.
+	DriftThreshold int
+	// MaxRepairAttempts bounds background remap attempts per quarantined
+	// site; a site that cannot be repaired stays quarantined instead of
+	// remap-looping. <= 0 means 3.
+	MaxRepairAttempts int
+	// RepairBackoff spaces repair attempts exponentially. <= 0 means
+	// 100ms.
+	RepairBackoff time.Duration
 }
 
 // Webbase is an assembled three-layer webbase.
@@ -125,9 +149,20 @@ type Webbase struct {
 	clock       func() time.Time
 	metrics     *trace.Registry
 	retryBudget int64
+	hedgeBudget int64
 	strict      bool
 	admission   *admission
 	deadline    time.Duration
+	class       QueryClass
+
+	// Self-healing: health tracks per-site drift state and drives the
+	// background repair worker; repairFetcher is the middleware stack
+	// below the cache (a repair must see the live site, never a cached
+	// pre-redesign page); sampleInputs feed the repair walk through the
+	// site's forms.
+	health        *health.Tracker
+	repairFetcher web.Fetcher
+	sampleInputs  map[string]string
 }
 
 // Domain describes how to assemble the three layers of one application
@@ -142,6 +177,10 @@ type Domain struct {
 	Logical func(reg *vps.Registry, f web.Fetcher) (*logical.Catalog, error)
 	// UR builds the domain's structured universal relation.
 	UR func() (*ur.Schema, error)
+	// SampleInputs are representative query inputs the self-healing
+	// repair worker uses to walk a drifted site's forms and verify a
+	// repaired map end to end. nil disables self-healing for the domain.
+	SampleInputs map[string]string
 }
 
 // UsedCarsDomain is the paper's running domain.
@@ -149,6 +188,13 @@ var UsedCarsDomain = Domain{
 	Registry: vps.StandardRegistry,
 	Logical:  logical.StandardCatalog,
 	UR:       ur.UsedCarUR,
+	// Inputs every standard site's forms accept, so the repair worker can
+	// walk any of them; the make/model pair is one the simulated sites
+	// list, letting a repaired map be verified end to end.
+	SampleInputs: map[string]string{
+		"Make": "ford", "Model": "escort", "Condition": "good",
+		"Year": "1994", "ZipCode": "11201", "Duration": "36",
+	},
 }
 
 // New assembles the standard used-car webbase over the configured fetcher.
@@ -163,7 +209,9 @@ func NewDomain(cfg Config, d Domain) (*Webbase, error) {
 	}
 	wb := &Webbase{stats: &web.Stats{}, workers: cfg.Workers,
 		clock: cfg.Clock, metrics: trace.NewRegistry(),
-		retryBudget: cfg.RetryBudget, strict: cfg.Strict}
+		retryBudget: cfg.RetryBudget, hedgeBudget: cfg.HedgeBudget,
+		strict: cfg.Strict, class: cfg.QueryClass,
+		sampleInputs: d.SampleInputs}
 	if wb.workers <= 0 {
 		wb.workers = runtime.GOMAXPROCS(0)
 	}
@@ -202,6 +250,11 @@ func NewDomain(cfg Config, d Domain) (*Webbase, error) {
 		f = web.WithLatency(f, cfg.Latency, wb.stats)
 	}
 	f = web.WithBulkhead(f, hostLimit, cfg.HostQueue, wb.stats)
+	// The repair worker fetches through the stack up to here — retry,
+	// latency accounting and the politeness bulkhead apply, but never the
+	// cache (a repair must see the live redesigned site, not a cached
+	// pre-redesign page), the breaker, hedging or per-query state.
+	wb.repairFetcher = f
 	if cfg.HedgeAfter > 0 {
 		f = web.WithHedge(f, cfg.HedgeAfter, wb.stats)
 	}
@@ -246,7 +299,84 @@ func NewDomain(cfg Config, d Domain) (*Webbase, error) {
 		return nil, err
 	}
 	wb.UR = schema
+
+	// Self-healing: active only when the domain supplies the sample
+	// inputs the repair walk needs to exercise site forms.
+	if d.SampleInputs != nil {
+		wb.health = health.New(health.Config{
+			Threshold:   cfg.DriftThreshold,
+			MaxAttempts: cfg.MaxRepairAttempts,
+			Backoff:     cfg.RepairBackoff,
+			Repair:      wb.repairHost,
+			Metrics:     wb.metrics,
+		})
+	}
 	return wb, nil
+}
+
+// SiteHealth exposes the self-healing tracker (nil when the domain has no
+// SampleInputs). Tracker methods are nil-safe, so callers may chain
+// unconditionally: wb.SiteHealth().Wait() is the quiescent point after
+// which every launched background repair has finished.
+func (wb *Webbase) SiteHealth() *health.Tracker { return wb.health }
+
+// repairHost is the background remap: for every relation whose navigation
+// map starts at the quarantined host, re-check the map against the live
+// site, re-anchor drifted edges, verify the repaired map answers end to
+// end, and hot-swap it into the registry. Any failure leaves the registry
+// untouched and reports the attempt failed (the health tracker bounds how
+// often this retries).
+func (wb *Webbase) repairHost(host string) error {
+	repaired := 0
+	for _, ri := range wb.Registry.Relations() {
+		m := wb.Registry.CurrentMap(ri.Name)
+		if m == nil || m.StartURLVar != "" {
+			// No recorded map, or a map entered at a query-supplied URL:
+			// nothing to walk from.
+			continue
+		}
+		if web.HostOf(m.StartURL) != host {
+			continue
+		}
+		b := &mapbuilder.Builder{Fetcher: wb.repairFetcher}
+		drifts, err := b.CheckMap(m, wb.sampleInputs)
+		if err != nil {
+			return fmt.Errorf("core: repairing %s: %w", host, err)
+		}
+		next := m
+		if len(drifts) > 0 {
+			if next, err = b.Repair(m, wb.sampleInputs); err != nil {
+				return fmt.Errorf("core: repairing %s: %w", host, err)
+			}
+		}
+		// Verify end to end before swapping: CheckMap walks navigation but
+		// cannot see extraction drift (a renamed table header yields an
+		// empty relation, not a navigation failure), so execute the map
+		// with the sample inputs and require a non-empty answer.
+		expr, err := navmap.Translate(next)
+		if err != nil {
+			return fmt.Errorf("core: repairing %s: %w", host, err)
+		}
+		rel, _, err := expr.Execute(wb.repairFetcher, wb.sampleInputs)
+		if err != nil {
+			return fmt.Errorf("core: repairing %s: verifying %s: %w", host, ri.Name, err)
+		}
+		if rel.Len() == 0 {
+			return fmt.Errorf("core: repairing %s: verifying %s: repaired map returns no tuples for the sample inputs", host, ri.Name)
+		}
+		if len(drifts) > 0 {
+			if _, err := wb.Registry.SwapMap(ri.Name, next); err != nil {
+				return fmt.Errorf("core: repairing %s: %w", host, err)
+			}
+			repaired++
+		}
+	}
+	// Cached pages of the old design would keep answering queries with the
+	// pre-redesign layout; drop them so the swapped-in map sees live pages.
+	if repaired > 0 && wb.cache != nil {
+		wb.cache.Clear()
+	}
+	return nil
 }
 
 // Stats exposes the cumulative fetch statistics.
@@ -321,12 +451,20 @@ type QueryStats struct {
 	// BudgetSheds counts fetches refused because their object's deadline
 	// budget was exhausted during this query.
 	BudgetSheds int64
+	// HedgesSuppressed counts fetches that were eligible to hedge but
+	// waited for their primary attempt because the query's hedge budget
+	// was spent.
+	HedgesSuppressed int64
+	// DriftDetected counts maximal objects this query lost to site drift
+	// (sites answering, but no longer matching their navigation maps) —
+	// the observations that feed the self-healing tracker.
+	DriftDetected int
 }
 
 // String renders the stats line the experiment harness prints.
 func (qs *QueryStats) String() string {
-	return fmt.Sprintf("pages=%d bytes=%d elapsed=%v simulated-net=%v cache-hits=%d deduped=%d retries=%d stale=%d breaker-rejects=%d degraded-objects=%d peak-inflight=%d limiter-wait=%v admission-wait=%v hedges=%d hedge-wins=%d bulkhead-shed=%d budget-shed=%d",
-		qs.Pages, qs.Bytes, qs.Elapsed, qs.Simulated, qs.CacheHits, qs.Deduped, qs.Retries, qs.StaleServed, qs.BreakerRejects, qs.DegradedObjects, qs.PeakInFlight, qs.LimiterWait, qs.AdmissionWait, qs.Hedges, qs.HedgeWins, qs.BulkheadSheds, qs.BudgetSheds)
+	return fmt.Sprintf("pages=%d bytes=%d elapsed=%v simulated-net=%v cache-hits=%d deduped=%d retries=%d stale=%d breaker-rejects=%d degraded-objects=%d peak-inflight=%d limiter-wait=%v admission-wait=%v hedges=%d hedge-wins=%d hedges-suppressed=%d bulkhead-shed=%d budget-shed=%d drift-detected=%d",
+		qs.Pages, qs.Bytes, qs.Elapsed, qs.Simulated, qs.CacheHits, qs.Deduped, qs.Retries, qs.StaleServed, qs.BreakerRejects, qs.DegradedObjects, qs.PeakInFlight, qs.LimiterWait, qs.AdmissionWait, qs.Hedges, qs.HedgeWins, qs.HedgesSuppressed, qs.BulkheadSheds, qs.BudgetSheds, qs.DriftDetected)
 }
 
 // Query evaluates a universal relation query end to end. Evaluation runs
@@ -358,7 +496,7 @@ func (wb *Webbase) QueryContext(ctx context.Context, q ur.Query) (*ur.Result, *Q
 // root span starts, so queue time never inflates the trace's timings
 // (it is reported separately in QueryStats.AdmissionWait).
 func (wb *Webbase) QueryTraced(ctx context.Context, q ur.Query) (*ur.Result, *QueryStats, *trace.Trace, error) {
-	wait, err := wb.admission.acquire(ctx)
+	wait, err := wb.admission.acquire(ctx, queryClassFrom(ctx, wb.class))
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -377,7 +515,7 @@ func (wb *Webbase) QueryTraced(ctx context.Context, q ur.Query) (*ur.Result, *Qu
 // run is the common evaluation path of Query and QueryContext: admission,
 // then execution.
 func (wb *Webbase) run(ctx context.Context, q ur.Query) (*ur.Result, *QueryStats, error) {
-	wait, err := wb.admission.acquire(ctx)
+	wait, err := wb.admission.acquire(ctx, queryClassFrom(ctx, wb.class))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -402,12 +540,19 @@ func (wb *Webbase) runAdmitted(ctx context.Context, q ur.Query, admissionWait ti
 	if wb.retryBudget > 0 {
 		ctx = web.ContextWithRetryBudget(ctx, web.NewRetryBudget(wb.retryBudget))
 	}
+	if wb.hedgeBudget > 0 {
+		ctx = web.ContextWithHedgeBudget(ctx, web.NewRetryBudget(wb.hedgeBudget))
+	}
 	if wb.strict {
 		ctx = ur.WithStrict(ctx)
 	}
 	if wb.deadline > 0 {
 		ctx = web.ContextWithBudgetPolicy(ctx, web.BudgetPolicy{Deadline: wb.deadline, Clock: wb.clock})
 	}
+	// Quarantine snapshot: the set of drift-confirmed hosts is read once,
+	// here, so a health transition mid-query cannot change which sites a
+	// running query consults (outcomes stay schedule-independent).
+	ctx = vps.ContextWithQuarantine(ctx, wb.health.Quarantined())
 	res, err := wb.UR.EvalContext(ctx, q, wb.Logical)
 	if err != nil {
 		wb.metrics.Counter("queries_failed_total").Add(1)
@@ -424,6 +569,16 @@ func (wb *Webbase) runAdmitted(ctx context.Context, q ur.Query, admissionWait ti
 	if res.Degradation != nil {
 		res.Degradation.StaleServed = qs.StaleServed
 		qs.DegradedObjects = len(res.Degradation.Unavailable)
+		// Self-healing feedback: each drift-degraded object is one
+		// observation against its host; enough of them quarantine the site
+		// and launch its background remap. Reported after evaluation so
+		// this query's own outcome was fixed before the tracker moved.
+		for _, f := range res.Degradation.Unavailable {
+			if f.Kind == ur.FailureDrift {
+				qs.DriftDetected++
+				wb.health.ReportDrift(f.Host)
+			}
+		}
 	}
 	wb.observe(qs)
 	return res, qs, nil
@@ -444,6 +599,8 @@ func (wb *Webbase) observe(qs *QueryStats) {
 	m.Counter("hedge_wins_total").Add(qs.HedgeWins)
 	m.Counter("bulkhead_shed_total").Add(qs.BulkheadSheds)
 	m.Counter("budget_shed_total").Add(qs.BudgetSheds)
+	m.Counter("hedges_suppressed_total").Add(qs.HedgesSuppressed)
+	m.Counter("site_drift_detected_total").Add(int64(qs.DriftDetected))
 	if qs.DegradedObjects > 0 {
 		m.Counter("queries_degraded_total").Add(1)
 		m.Counter("objects_unavailable_total").Add(int64(qs.DegradedObjects))
@@ -472,24 +629,25 @@ func (wb *Webbase) QueryStringContext(ctx context.Context, text string) (*ur.Res
 }
 
 type statSnapshot struct {
-	pages, bytes, hits, deduped, retries, stale, breakerRejects int64
-	hedges, hedgeWins, bulkheadSheds, budgetSheds               int64
-	simulated, limiterWait                                      time.Duration
+	pages, bytes, hits, deduped, retries, stale, breakerRejects     int64
+	hedges, hedgeWins, hedgesSuppressed, bulkheadSheds, budgetSheds int64
+	simulated, limiterWait                                          time.Duration
 }
 
 func (wb *Webbase) snapshot() statSnapshot {
 	s := statSnapshot{
-		pages:          wb.stats.Pages(),
-		bytes:          wb.stats.Bytes(),
-		simulated:      wb.stats.SimulatedLatency(),
-		deduped:        wb.stats.Deduped(),
-		retries:        wb.stats.Retries(),
-		breakerRejects: wb.stats.BreakerRejects(),
-		limiterWait:    wb.stats.LimiterWait(),
-		hedges:         wb.stats.Hedges(),
-		hedgeWins:      wb.stats.HedgeWins(),
-		bulkheadSheds:  wb.stats.BulkheadSheds(),
-		budgetSheds:    wb.stats.BudgetSheds(),
+		pages:            wb.stats.Pages(),
+		bytes:            wb.stats.Bytes(),
+		simulated:        wb.stats.SimulatedLatency(),
+		deduped:          wb.stats.Deduped(),
+		retries:          wb.stats.Retries(),
+		breakerRejects:   wb.stats.BreakerRejects(),
+		limiterWait:      wb.stats.LimiterWait(),
+		hedges:           wb.stats.Hedges(),
+		hedgeWins:        wb.stats.HedgeWins(),
+		hedgesSuppressed: wb.stats.HedgesSuppressed(),
+		bulkheadSheds:    wb.stats.BulkheadSheds(),
+		budgetSheds:      wb.stats.BudgetSheds(),
 	}
 	if wb.cache != nil {
 		s.hits = wb.cache.Hits()
@@ -500,19 +658,20 @@ func (wb *Webbase) snapshot() statSnapshot {
 
 func (wb *Webbase) delta(before statSnapshot, elapsed time.Duration) *QueryStats {
 	qs := &QueryStats{
-		Pages:          wb.stats.Pages() - before.pages,
-		Bytes:          wb.stats.Bytes() - before.bytes,
-		Simulated:      wb.stats.SimulatedLatency() - before.simulated,
-		Elapsed:        elapsed,
-		Deduped:        wb.stats.Deduped() - before.deduped,
-		Retries:        wb.stats.Retries() - before.retries,
-		BreakerRejects: wb.stats.BreakerRejects() - before.breakerRejects,
-		LimiterWait:    wb.stats.LimiterWait() - before.limiterWait,
-		PeakInFlight:   wb.stats.PeakInFlight(),
-		Hedges:         wb.stats.Hedges() - before.hedges,
-		HedgeWins:      wb.stats.HedgeWins() - before.hedgeWins,
-		BulkheadSheds:  wb.stats.BulkheadSheds() - before.bulkheadSheds,
-		BudgetSheds:    wb.stats.BudgetSheds() - before.budgetSheds,
+		Pages:            wb.stats.Pages() - before.pages,
+		Bytes:            wb.stats.Bytes() - before.bytes,
+		Simulated:        wb.stats.SimulatedLatency() - before.simulated,
+		Elapsed:          elapsed,
+		Deduped:          wb.stats.Deduped() - before.deduped,
+		Retries:          wb.stats.Retries() - before.retries,
+		BreakerRejects:   wb.stats.BreakerRejects() - before.breakerRejects,
+		LimiterWait:      wb.stats.LimiterWait() - before.limiterWait,
+		PeakInFlight:     wb.stats.PeakInFlight(),
+		Hedges:           wb.stats.Hedges() - before.hedges,
+		HedgeWins:        wb.stats.HedgeWins() - before.hedgeWins,
+		HedgesSuppressed: wb.stats.HedgesSuppressed() - before.hedgesSuppressed,
+		BulkheadSheds:    wb.stats.BulkheadSheds() - before.bulkheadSheds,
+		BudgetSheds:      wb.stats.BudgetSheds() - before.budgetSheds,
 	}
 	if wb.cache != nil {
 		qs.CacheHits = wb.cache.Hits() - before.hits

@@ -1,0 +1,291 @@
+// Package health tracks per-site health for the self-healing subsystem:
+// it turns query-time drift reports into a quarantine decision and drives
+// the background repair worker that re-maps a drifted site.
+//
+// Each site moves through a small state machine:
+//
+//	healthy → suspect → quarantined ⇄ repairing → healthy
+//
+// A drift report moves a healthy site to suspect; once the confirmation
+// threshold is reached the site is quarantined (one bad page never
+// triggers a remap) and a single background repair worker is launched for
+// it. The worker retries with exponential backoff up to a bounded number
+// of attempts; on success the site returns to healthy, on exhaustion it
+// stays quarantined with no further workers — a truly dead site cannot
+// remap-loop. While a site is quarantined or repairing, further drift
+// reports are no-ops, which is what makes the repair single-flighted.
+package health
+
+import (
+	"sync"
+	"time"
+
+	"webbase/internal/trace"
+)
+
+// State is a site's position in the health state machine.
+type State uint8
+
+// Health states.
+const (
+	// Healthy: no unconfirmed drift evidence.
+	Healthy State = iota
+	// Suspect: drift reported, below the confirmation threshold.
+	Suspect
+	// Quarantined: drift confirmed; queries short-circuit the site. Also
+	// the terminal state once repair attempts are exhausted.
+	Quarantined
+	// Repairing: a background worker is currently rebuilding the site's
+	// navigation maps. Queries still treat the site as quarantined.
+	Repairing
+)
+
+// String renders the state name.
+func (s State) String() string {
+	switch s {
+	case Suspect:
+		return "suspect"
+	case Quarantined:
+		return "quarantined"
+	case Repairing:
+		return "repairing"
+	default:
+		return "healthy"
+	}
+}
+
+// Config tunes a Tracker.
+type Config struct {
+	// Threshold is how many drift reports confirm a redesign and
+	// quarantine the site. <= 0 means the default of 2.
+	Threshold int
+	// MaxAttempts bounds the repair attempts per quarantine episode.
+	// <= 0 means the default of 3.
+	MaxAttempts int
+	// Backoff is the wait before the second repair attempt; it doubles
+	// per attempt. <= 0 means the default of 100ms.
+	Backoff time.Duration
+	// Repair rebuilds the site's navigation maps and hot-swaps them in.
+	// nil disables background repair: sites still quarantine, but stay
+	// quarantined until an operator intervenes.
+	Repair func(host string) error
+	// Sleep waits between repair attempts; tests inject an instant sleep.
+	// nil uses time.Sleep.
+	Sleep func(d time.Duration)
+	// Clock supplies the current time for state timestamps (injectable
+	// for deterministic tests); nil uses time.Now.
+	Clock func() time.Time
+	// Metrics, when non-nil, receives remaps_started_total,
+	// remaps_succeeded_total and the sites_quarantined gauge.
+	Metrics *trace.Registry
+}
+
+// Tracker is the per-site health state machine. A nil *Tracker is a valid
+// no-op tracker (sites are always healthy), mirroring the nil admission
+// gate, so callers need no guards when self-healing is not configured.
+type Tracker struct {
+	cfg Config
+
+	mu    sync.Mutex
+	sites map[string]*site
+	wg    sync.WaitGroup
+}
+
+type site struct {
+	state     State
+	drifts    int  // drift reports since last healthy
+	attempts  int  // repair attempts spent in the current quarantine
+	exhausted bool // attempts bound hit: no more workers for this site
+	since     time.Time
+}
+
+// New returns a tracker with the given configuration.
+func New(cfg Config) *Tracker {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 2
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 100 * time.Millisecond
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Tracker{cfg: cfg, sites: make(map[string]*site)}
+}
+
+// ReportDrift records one query-time drift observation against the host
+// and returns the host's resulting state. Crossing the confirmation
+// threshold quarantines the site and launches its (single) background
+// repair worker.
+func (t *Tracker) ReportDrift(host string) State {
+	if t == nil || host == "" {
+		return Healthy
+	}
+	t.mu.Lock()
+	s := t.sites[host]
+	if s == nil {
+		s = &site{}
+		t.sites[host] = s
+	}
+	switch s.state {
+	case Quarantined, Repairing:
+		// Already confirmed; the worker (or its exhaustion) owns the site.
+		st := s.state
+		t.mu.Unlock()
+		return st
+	case Healthy:
+		s.state = Suspect
+		s.since = t.cfg.Clock()
+	}
+	s.drifts++
+	if s.drifts < t.cfg.Threshold {
+		t.mu.Unlock()
+		return Suspect
+	}
+	s.state = Quarantined
+	s.since = t.cfg.Clock()
+	launch := t.cfg.Repair != nil && !s.exhausted
+	if launch {
+		t.wg.Add(1)
+	}
+	t.gaugeLocked()
+	t.mu.Unlock()
+	if launch {
+		go t.repairLoop(host)
+	}
+	return Quarantined
+}
+
+// repairLoop is the single-flight background worker for one quarantined
+// site: bounded attempts with exponential backoff, then either a return
+// to healthy or terminal exhaustion.
+func (t *Tracker) repairLoop(host string) {
+	defer t.wg.Done()
+	for {
+		t.mu.Lock()
+		s := t.sites[host]
+		if s.attempts >= t.cfg.MaxAttempts {
+			s.exhausted = true
+			s.state = Quarantined
+			t.gaugeLocked()
+			t.mu.Unlock()
+			return
+		}
+		s.attempts++
+		attempt := s.attempts
+		s.state = Repairing
+		t.mu.Unlock()
+
+		counter(t.cfg.Metrics, "remaps_started_total")
+		err := t.cfg.Repair(host)
+
+		t.mu.Lock()
+		if err == nil {
+			s.state = Healthy
+			s.drifts = 0
+			s.attempts = 0
+			s.exhausted = false
+			s.since = t.cfg.Clock()
+			t.gaugeLocked()
+			t.mu.Unlock()
+			counter(t.cfg.Metrics, "remaps_succeeded_total")
+			return
+		}
+		s.state = Quarantined
+		exhausted := attempt >= t.cfg.MaxAttempts
+		if exhausted {
+			s.exhausted = true
+		}
+		t.gaugeLocked()
+		t.mu.Unlock()
+		if exhausted {
+			return
+		}
+		t.cfg.Sleep(t.cfg.Backoff << (attempt - 1))
+	}
+}
+
+// SiteState reports the host's current state.
+func (t *Tracker) SiteState(host string) State {
+	if t == nil {
+		return Healthy
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s := t.sites[host]; s != nil {
+		return s.state
+	}
+	return Healthy
+}
+
+// Attempts reports how many repair attempts the host's current quarantine
+// has spent — the observable the remap-loop bound is asserted on.
+func (t *Tracker) Attempts(host string) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s := t.sites[host]; s != nil {
+		return s.attempts
+	}
+	return 0
+}
+
+// Quarantined returns the set of hosts queries must short-circuit:
+// everything confirmed drifted (quarantined or mid-repair). Callers
+// snapshot this once per query so mid-query transitions cannot make
+// outcomes schedule-dependent. Returns nil when the set is empty or the
+// tracker is nil.
+func (t *Tracker) Quarantined() map[string]bool {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out map[string]bool
+	for host, s := range t.sites {
+		if s.state == Quarantined || s.state == Repairing {
+			if out == nil {
+				out = make(map[string]bool)
+			}
+			out[host] = true
+		}
+	}
+	return out
+}
+
+// Wait blocks until every launched repair worker has finished — the
+// quiescent point deterministic tests sequence phases on.
+func (t *Tracker) Wait() {
+	if t == nil {
+		return
+	}
+	t.wg.Wait()
+}
+
+// gaugeLocked publishes the sites_quarantined gauge; t.mu must be held.
+func (t *Tracker) gaugeLocked() {
+	if t.cfg.Metrics == nil {
+		return
+	}
+	n := int64(0)
+	for _, s := range t.sites {
+		if s.state == Quarantined || s.state == Repairing {
+			n++
+		}
+	}
+	t.cfg.Metrics.Gauge("sites_quarantined").Set(n)
+}
+
+func counter(m *trace.Registry, name string) {
+	if m != nil {
+		m.Counter(name).Add(1)
+	}
+}

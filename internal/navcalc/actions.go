@@ -36,11 +36,15 @@ func (a followLink) Run(st tlogic.State, env tlogic.Env) ([]tlogic.Outcome, erro
 	if a.fromVar != "" {
 		v, ok := env.Lookup(a.fromVar)
 		if !ok {
-			return nil, nil // unbound variable: this branch cannot proceed
+			// Unbound variable: this branch cannot proceed. That is a
+			// statement about the invocation, not the page.
+			b.budget.noteInputShortfall()
+			return nil, nil
 		}
 		want = v
 	}
 	var outs []tlogic.Outcome
+	matched := false
 	// The calculus consults the F-logic view: every follow_link action
 	// object whose link's name matches is a possible next step.
 	for _, actID := range b.store.Members("follow_link") {
@@ -48,6 +52,7 @@ func (a followLink) Run(st tlogic.State, env tlogic.Env) ([]tlogic.Outcome, erro
 		if !ok || !strings.EqualFold(nameT.Str, want) {
 			continue
 		}
+		matched = true
 		addrT, ok := b.store.Path(actID, "object", "address")
 		if !ok {
 			continue
@@ -60,6 +65,12 @@ func (a followLink) Run(st tlogic.State, env tlogic.Env) ([]tlogic.Outcome, erro
 			continue // dead link: fail softly, try other matches/branches
 		}
 		outs = append(outs, tlogic.Outcome{State: nb, Env: env})
+	}
+	if !matched && a.fromVar == "" {
+		// A literal link the map recorded is simply not on the page any
+		// more — structural drift evidence. A variable-named link with no
+		// match is different: the directory just doesn't list that value.
+		b.budget.noteStructural()
 	}
 	return outs, nil
 }
@@ -100,6 +111,9 @@ func (a submitForm) Run(st tlogic.State, env tlogic.Env) ([]tlogic.Outcome, erro
 	b := st.(*BrowseState)
 	form, ok := findForm(b, a.form)
 	if !ok {
+		// The form the map expects is gone from the page: structural
+		// drift evidence.
+		b.budget.noteStructural()
 		return nil, nil
 	}
 	values := url.Values{}
@@ -123,13 +137,19 @@ func (a submitForm) Run(st tlogic.State, env tlogic.Env) ([]tlogic.Outcome, erro
 			continue // unbound optional input: leave the field alone
 		}
 		if _, exists := form.Field(f.Field); !exists {
-			return nil, nil // the form cannot accept this input
+			// We hold a value for a field the form no longer carries:
+			// structural drift evidence.
+			b.budget.noteStructural()
+			return nil, nil
 		}
 		values.Set(f.Field, v)
 	}
-	// Mandatory fields must have ended up with a value.
+	// Mandatory fields must have ended up with a value. An empty one
+	// means the invocation didn't supply the input, not that the site
+	// changed.
 	for _, name := range form.MandatoryFields() {
 		if values.Get(name) == "" {
+			b.budget.noteInputShortfall()
 			return nil, nil
 		}
 	}
@@ -240,6 +260,11 @@ func (a extract) Run(st tlogic.State, env tlogic.Env) ([]tlogic.Outcome, error) 
 	}
 	rows := htmlkit.DataTable(b.doc, b.url, a.spec.headers()...)
 	if rows == nil {
+		// No table carries the expected headers. On the page the map calls
+		// a data page this is the classic wrapper-breaking redesign; on a
+		// branch probing whether this IS the data page it is neutralized
+		// by whichever signal the other branch ends on.
+		b.budget.noteStructural()
 		return nil, nil
 	}
 	nb := b.Clone().(*BrowseState)
@@ -284,7 +309,10 @@ func (a extract) Run(st tlogic.State, env tlogic.Env) ([]tlogic.Outcome, error) 
 func (a extract) runPattern(b *BrowseState, env tlogic.Env) ([]tlogic.Outcome, error) {
 	records := a.spec.Pattern.Extract(b.doc)
 	if len(records) == 0 {
-		return nil, nil // not a (matching) data page: backtrack
+		// Not a (matching) data page: backtrack. Structurally suspect for
+		// the same reason as a missing data table.
+		b.budget.noteStructural()
+		return nil, nil
 	}
 	nb := b.Clone().(*BrowseState)
 	for _, rec := range records {

@@ -87,6 +87,20 @@ func (e *Expression) ExecuteContext(ctx context.Context, f web.Fetcher, inputs m
 			return nil, nil, fmt.Errorf("%w: %s: last navigation failure: %w",
 				ErrNavigationFailed, e.Name, last)
 		}
+		// Every fetch succeeded, yet the expression had no successful
+		// execution. If the failure's evidence is structural — a mapped
+		// link, form, field or data table missing from a page we actually
+		// received — and no branch failed merely for lack of an input
+		// binding, the site has drifted from its map: classify as drift,
+		// attributed to the start host, so the health tracker can
+		// quarantine and remap it.
+		if st.budget.sawStructural && !st.budget.sawInputShortfall {
+			return nil, nil, web.MarkDrift(&web.HostError{
+				Host: web.HostOf(start),
+				Err: fmt.Errorf("%w: %s: site answered but its pages no longer match the navigation map",
+					ErrNavigationFailed, e.Name),
+			})
+		}
 		return nil, nil, fmt.Errorf("%w: %s", ErrNavigationFailed, e.Name)
 	}
 	final := out.State.(*BrowseState)

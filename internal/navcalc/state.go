@@ -37,7 +37,26 @@ type pageBudget struct {
 	// stays recognizable as an outage instead of collapsing into a bare
 	// "no successful execution".
 	lastErr error
+	// Drift evidence, recorded by the primitive actions as they fail
+	// softly. sawStructural: a map-expected link, form, fill field or
+	// data table was absent from a successfully fetched page — the
+	// signature of a site redesign. sawInputShortfall: a branch failed
+	// because the invocation supplied no binding for a variable the map
+	// needs, which says nothing about the site. A failed execution is
+	// classified as drift only on structural evidence with no input
+	// shortfall, so under-bound handle invocations against healthy sites
+	// never look like redesigns.
+	sawStructural     bool
+	sawInputShortfall bool
 }
+
+// noteStructural records that a successfully fetched page was missing a
+// link, form, field or table the navigation map expects.
+func (p *pageBudget) noteStructural() { p.sawStructural = true }
+
+// noteInputShortfall records that a branch failed for lack of an input
+// binding rather than because of anything the site served.
+func (p *pageBudget) noteInputShortfall() { p.sawInputShortfall = true }
 
 // ErrPageBudget is returned when a navigation exceeds its page budget —
 // the runaway protection a webbase needs on live sites whose pagination

@@ -180,6 +180,34 @@ func (m *Map) OutEdges(id NodeID) []*Edge {
 // is measured against.
 func (m *Map) Size() (nodes, edges int) { return len(m.nodes), len(m.edges) }
 
+// Clone returns a deep-enough copy of the map for repair to edit: nodes
+// and edges are fresh values (an edge's action can be re-anchored without
+// touching the original), while extraction specs — immutable in practice —
+// are shared. Node and edge order is preserved, so a repaired map that
+// changes nothing round-trips to the same fingerprint.
+func (m *Map) Clone() *Map {
+	out := &Map{
+		Name:        m.Name,
+		StartURL:    m.StartURL,
+		StartURLVar: m.StartURLVar,
+		Schema:      m.Schema.Clone(),
+		Start:       m.Start,
+		nodes:       make(map[NodeID]*Node, len(m.nodes)),
+		order:       append([]NodeID(nil), m.order...),
+	}
+	for id, n := range m.nodes {
+		cp := *n
+		out.nodes[id] = &cp
+	}
+	out.edges = make([]*Edge, len(m.edges))
+	for i, e := range m.edges {
+		cp := *e
+		cp.Action.Fills = append([]navcalc.FieldFill(nil), e.Action.Fills...)
+		out.edges[i] = &cp
+	}
+	return out
+}
+
 // Validate checks the map's structural invariants: a start node, edges
 // referencing existing nodes, at least one data node, and every data node
 // equipped with an extraction spec whose attributes fall inside the map's

@@ -1,6 +1,8 @@
 package navmap
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 
@@ -10,15 +12,19 @@ import (
 )
 
 // The JSON persistence format for navigation maps. Maps built once by the
-// map builder are saved by the webbase designer and loaded at system
-// start; the on-disk form is stable, versioned and independent of Go
-// internals.
+// map builder (or rebuilt by the self-healing repair worker) are saved by
+// the webbase designer and loaded at system start; the on-disk form is
+// stable, versioned and independent of Go internals.
 
-// FormatVersion identifies the persisted map format.
-const FormatVersion = 1
+// FormatVersion identifies the persisted map format. Version 2 adds a
+// content fingerprint so a loaded map can be checked for corruption and a
+// hot-swapped map can be identified in traces; version 1 files (no
+// fingerprint) are still accepted.
+const FormatVersion = 2
 
 type mapJSON struct {
 	Version     int        `json:"version"`
+	Fingerprint string     `json:"fingerprint,omitempty"`
 	Name        string     `json:"name"`
 	StartURL    string     `json:"start_url,omitempty"`
 	StartURLVar string     `json:"start_url_var,omitempty"`
@@ -89,8 +95,8 @@ type fillJSON struct {
 	Const string `json:"const,omitempty"`
 }
 
-// MarshalJSON implements json.Marshaler for Map.
-func (m *Map) MarshalJSON() ([]byte, error) {
+// encodeJSON builds the persisted form of the map, without a fingerprint.
+func (m *Map) encodeJSON() mapJSON {
 	out := mapJSON{
 		Version:     FormatVersion,
 		Name:        m.Name,
@@ -111,6 +117,31 @@ func (m *Map) MarshalJSON() ([]byte, error) {
 			From: string(e.From), To: string(e.To), Action: encodeAction(e.Action),
 		})
 	}
+	return out
+}
+
+// fingerprintOf hashes the persisted form with its fingerprint field
+// cleared, so the value is stable across encode/decode and independent of
+// on-disk formatting.
+func fingerprintOf(j mapJSON) string {
+	j.Fingerprint = ""
+	data, err := json.Marshal(j)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Fingerprint returns a stable content hash of the map — the identity the
+// VPS registry records when a repaired map is hot-swapped in, and the
+// integrity check version-2 map files carry.
+func Fingerprint(m *Map) string { return fingerprintOf(m.encodeJSON()) }
+
+// MarshalJSON implements json.Marshaler for Map.
+func (m *Map) MarshalJSON() ([]byte, error) {
+	out := m.encodeJSON()
+	out.Fingerprint = fingerprintOf(out)
 	return json.MarshalIndent(out, "", "  ")
 }
 
@@ -121,8 +152,16 @@ func (m *Map) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &in); err != nil {
 		return fmt.Errorf("navmap: decoding map: %w", err)
 	}
-	if in.Version != FormatVersion {
-		return fmt.Errorf("navmap: unsupported map format version %d (want %d)", in.Version, FormatVersion)
+	if in.Version != 1 && in.Version != FormatVersion {
+		return fmt.Errorf("navmap: unsupported map format version %d (want ≤ %d)", in.Version, FormatVersion)
+	}
+	// Version-2 files carry a content fingerprint; verify it when present.
+	// (Version-1 files predate fingerprints and are accepted as-is.)
+	if in.Version == FormatVersion && in.Fingerprint != "" {
+		if got := fingerprintOf(in); got != in.Fingerprint {
+			return fmt.Errorf("navmap: map %s is corrupt: fingerprint %s does not match content (%s)",
+				in.Name, in.Fingerprint, got)
+		}
 	}
 	schema, err := relation.ParseSchema(in.Schema)
 	if err != nil {

@@ -97,10 +97,86 @@ func TestMapJSONStableFields(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := string(data)
-	for _, want := range []string{`"version":1`, `"name":"newsday"`, `"kind":"submit"`,
+	for _, want := range []string{`"version":2`, `"fingerprint":"`, `"name":"newsday"`, `"kind":"submit"`,
 		`"link_name":"Car Features"`, `"form_name":"f1"`} {
 		if !strings.Contains(s, want) {
 			t.Errorf("serialized form missing %q:\n%s", want, s)
 		}
+	}
+}
+
+// TestMapJSONRepairedEdgeRoundTrip is the regression test for the v2
+// format carrying repaired edges: a map whose edge was re-anchored onto a
+// renamed link must round-trip byte-identically (including its
+// fingerprint), and the reloaded copy must keep the repaired name.
+func TestMapJSONRepairedEdgeRoundTrip(t *testing.T) {
+	m := carmaps.Newsday().Clone()
+	renamed := false
+	for _, e := range m.Edges() {
+		if e.Action.LinkName == "Automobiles" {
+			e.Action.LinkName = "Cars & Trucks" // the post-redesign name
+			renamed = true
+		}
+	}
+	if !renamed {
+		t.Fatal("newsday map no longer has the Automobiles edge")
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded navmap.Map
+	if err := json.Unmarshal(data, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := navmap.Fingerprint(&loaded), navmap.Fingerprint(m); got != want {
+		t.Errorf("fingerprint changed across round trip: %s vs %s", got, want)
+	}
+	if fp, base := navmap.Fingerprint(m), navmap.Fingerprint(carmaps.Newsday()); fp == base {
+		t.Error("repaired map has the same fingerprint as the base map")
+	}
+	kept := false
+	for _, e := range loaded.Edges() {
+		if e.Action.LinkName == "Cars & Trucks" {
+			kept = true
+		}
+	}
+	if !kept {
+		t.Error("repaired link name lost across round trip")
+	}
+	again, err := json.Marshal(&loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Error("serialized form not byte-identical across round trip")
+	}
+}
+
+// TestMapJSONVersion1Accepted: fingerprint-free v1 files (written before
+// the format bump) still load.
+func TestMapJSONVersion1Accepted(t *testing.T) {
+	data := []byte(`{"version":1,"name":"x","start_url":"http://x/","schema":["A"],"start":"d","nodes":[{"id":"d","is_data":true,"extract":{"columns":[{"header":"A","attr":"A"}]}}],"edges":[]}`)
+	var m navmap.Map
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("v1 map rejected: %v", err)
+	}
+	if m.Name != "x" {
+		t.Errorf("loaded name %q", m.Name)
+	}
+}
+
+// TestMapJSONCorruptFingerprintRejected: a v2 file whose content no
+// longer matches its fingerprint is refused instead of silently loaded.
+func TestMapJSONCorruptFingerprintRejected(t *testing.T) {
+	data, err := json.Marshal(carmaps.Newsday())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := strings.Replace(string(data), `"name":"newsday"`, `"name":"tampered"`, 1)
+	var m navmap.Map
+	err = json.Unmarshal([]byte(corrupt), &m)
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt map loaded: err=%v", err)
 	}
 }

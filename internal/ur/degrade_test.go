@@ -153,6 +153,90 @@ func TestEvalPartialAnswerExactlySurvivors(t *testing.T) {
 	}
 }
 
+// driftCatalog fails Populate for the named relations with a
+// drift-classified error — sites that answer but no longer match their
+// navigation maps.
+type driftCatalog struct {
+	*algebra.MemCatalog
+	drifted map[string]string // relation → drifted host
+}
+
+func (c *driftCatalog) Populate(name string, inputs map[string]relation.Value) (*relation.Relation, error) {
+	if host, ok := c.drifted[name]; ok {
+		return nil, web.MarkDrift(&web.HostError{Host: host,
+			Err: fmt.Errorf("navcalc: navigation failed: link \"Automobiles\" not found")})
+	}
+	return c.MemCatalog.Populate(name, inputs)
+}
+
+// TestEvalDriftDegradesWithKind: a drifted site degrades the answer like
+// an outage does, but the report says so — Kind is "drift" and the
+// rendered line carries the tag, so operators (and the health tracker)
+// can tell a redesign from a dead host. Outage entries keep the
+// historical untagged format byte for byte.
+func TestEvalDriftDegradesWithKind(t *testing.T) {
+	s, mem := miniTwoObjectWorld()
+	q := Query{Output: []string{"K", "V"}}
+
+	cat := &driftCatalog{MemCatalog: mem, drifted: map[string]string{"b": "b.example"}}
+	res, err := s.Eval(q, cat)
+	if err != nil {
+		t.Fatalf("degraded eval failed outright: %v", err)
+	}
+	if res.Relation.Len() != 2 {
+		t.Fatalf("degraded answer = %d tuples, want the surviving object's 2", res.Relation.Len())
+	}
+	if len(res.Degradation.Unavailable) != 1 {
+		t.Fatalf("degradation report: %+v", res.Degradation)
+	}
+	f := res.Degradation.Unavailable[0]
+	if f.Kind != FailureDrift {
+		t.Errorf("failure kind = %q, want %q", f.Kind, FailureDrift)
+	}
+	if f.Host != "b.example" {
+		t.Errorf("failure host = %q", f.Host)
+	}
+	rep := res.Degradation.String()
+	if !strings.Contains(rep, "host=b.example [drift]:") {
+		t.Errorf("drift entry not tagged in report:\n%s", rep)
+	}
+
+	// An outage entry renders exactly as it always has — no tag.
+	down := &downCatalog{MemCatalog: mem, down: map[string]string{"b": "b.example"}}
+	res, err = s.Eval(q, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Degradation.Unavailable[0].Kind; got != FailureOutage {
+		t.Errorf("outage kind = %q, want %q", got, FailureOutage)
+	}
+	rep = res.Degradation.String()
+	if strings.Contains(rep, "[") {
+		t.Errorf("outage entry grew a tag:\n%s", rep)
+	}
+	if !strings.Contains(rep, "host=b.example:") {
+		t.Errorf("outage entry lost its historical format:\n%s", rep)
+	}
+}
+
+// TestEvalStrictFailsFastOnDrift: strict mode refuses drift-degraded
+// answers the same way it refuses outage-degraded ones, and the error
+// keeps the drift classification for the caller's health tracking.
+func TestEvalStrictFailsFastOnDrift(t *testing.T) {
+	s, mem := miniTwoObjectWorld()
+	cat := &driftCatalog{MemCatalog: mem, drifted: map[string]string{"b": "b.example"}}
+	_, err := s.EvalContext(WithStrict(context.Background()), Query{Output: []string{"K", "V"}}, cat)
+	if err == nil {
+		t.Fatal("strict eval succeeded over a drifted site")
+	}
+	if !web.IsDrift(err) {
+		t.Errorf("strict drift failure not classified: %v", err)
+	}
+	if web.FailingHost(err) != "b.example" {
+		t.Errorf("strict failure host = %q", web.FailingHost(err))
+	}
+}
+
 // TestEvalStrictFailsFast: strict mode turns the same partial outage
 // into a whole-query failure carrying the taxonomized per-site error.
 func TestEvalStrictFailsFast(t *testing.T) {

@@ -292,11 +292,21 @@ type Degradation struct {
 	StaleServed int64
 }
 
+// Failure kinds attributed to an abandoned maximal object. An outage is a
+// site that would not answer (network fault, terminal HTTP status); drift
+// is a site that answered but whose pages no longer match its navigation
+// map — the self-healing subsystem reacts only to the latter.
+const (
+	FailureOutage = "outage"
+	FailureDrift  = "drift"
+)
+
 // SiteFailure attributes one abandoned maximal object to the site that
 // killed it.
 type SiteFailure struct {
 	Object []string // the minimal cover that was being evaluated
 	Host   string   // failing host, when the error chain names one
+	Kind   string   // FailureOutage or FailureDrift
 	Err    string   // rendered cause
 }
 
@@ -313,7 +323,13 @@ func (d *Degradation) String() string {
 		if host == "" {
 			host = "?"
 		}
-		fmt.Fprintf(&sb, "  {%s}: host=%s: %s\n", strings.Join(f.Object, ", "), host, f.Err)
+		// Outage lines keep their historical shape; other kinds carry a tag
+		// so a reader can tell "site down" from "site redesigned".
+		if f.Kind == "" || f.Kind == FailureOutage {
+			fmt.Fprintf(&sb, "  {%s}: host=%s: %s\n", strings.Join(f.Object, ", "), host, f.Err)
+		} else {
+			fmt.Fprintf(&sb, "  {%s}: host=%s [%s]: %s\n", strings.Join(f.Object, ", "), host, f.Kind, f.Err)
+		}
 	}
 	return sb.String()
 }
@@ -397,6 +413,9 @@ func (s *Schema) EvalContext(ctx context.Context, q Query, cat algebra.Catalog) 
 				// not of a site fault.
 				sps[i].Set("budget-exhausted", 1)
 			}
+			if web.IsDrift(err) {
+				sps[i].Set("drift", 1)
+			}
 			sps[i].EndErr(err)
 		}
 		return err
@@ -411,20 +430,27 @@ func (s *Schema) EvalContext(ctx context.Context, q Query, cat algebra.Catalog) 
 				continue
 			}
 			// Graceful degradation: a terminally-failed site (outage
-			// class) abandons only the maximal objects that depend on
-			// it; the survivors still answer. Strict mode restores the
-			// historical whole-query fail-fast. Cancellation is neither:
-			// it aborts regardless, as an unclassified context error.
-			if web.IsOutage(err) && !strictFrom(ctx) {
+			// class) or a drifted site (answering, but no longer matching
+			// its navigation map) abandons only the maximal objects that
+			// depend on it; the survivors still answer. Strict mode
+			// restores the historical whole-query fail-fast. Cancellation
+			// is neither: it aborts regardless, as an unclassified
+			// context error.
+			if (web.IsOutage(err) || web.IsDrift(err)) && !strictFrom(ctx) {
 				if firstOutage == nil {
 					firstOutage = err
 				}
 				if res.Degradation == nil {
 					res.Degradation = &Degradation{}
 				}
+				kind := FailureOutage
+				if web.IsDrift(err) {
+					kind = FailureDrift
+				}
 				res.Degradation.Unavailable = append(res.Degradation.Unavailable, SiteFailure{
 					Object: obj.Relations,
 					Host:   web.FailingHost(err),
+					Kind:   kind,
 					Err:    err.Error(),
 				})
 				continue

@@ -53,6 +53,11 @@ func StandardRegistry() (*Registry, error) {
 		if err := reg.Declare(name, m.Schema); err != nil {
 			return nil, err
 		}
+		// Record the source map so the self-healing repair worker can
+		// re-check it against the live site and hot-swap a fixed copy.
+		if err := reg.SetBaseMap(name, m); err != nil {
+			return nil, err
+		}
 		exprs[name] = expr
 	}
 	for _, spec := range standardHandles {

@@ -20,8 +20,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"webbase/internal/navcalc"
+	"webbase/internal/navmap"
 	"webbase/internal/relation"
 	"webbase/internal/trace"
 	"webbase/internal/web"
@@ -71,6 +73,17 @@ type RelationInfo struct {
 	Name    string
 	Schema  relation.Schema
 	Handles []*Handle
+
+	// baseMap is the navigation map the relation's handles were translated
+	// from (nil for relations registered without one). It is what repair
+	// re-checks against the live site.
+	baseMap *navmap.Map
+	// override, when non-nil, carries a repaired navigation map and its
+	// translated expression. It is a copy-on-write pointer: queries load
+	// it once per handle invocation and never take a lock, so an in-flight
+	// query finishes on the map it started with while new invocations see
+	// the repaired one.
+	override atomic.Pointer[MapOverride]
 }
 
 // Bindings returns the relation's alternative binding sets — one mandatory
@@ -221,20 +234,48 @@ func (r *Registry) PopulateContext(ctx context.Context, f web.Fetcher, name stri
 	if sp != nil {
 		ctx = trace.ContextWith(ctx, sp)
 	}
+	ri := r.relations[name]
+	// A repaired map, once swapped in, replaces the expression for every
+	// handle of the relation (all handles were translated from the one
+	// map). The span carries the map version only when an override is
+	// live, so the annotation marks exactly the queries that ran on a
+	// repaired map.
+	expr := h.Expr
+	if ov := ri.override.Load(); ov != nil {
+		expr = ov.Expr
+		sp.Set("map-version", int64(ov.Version))
+	}
 	strInputs := make(map[string]string, len(inputs))
 	for a, v := range inputs {
 		if !v.IsNull() {
 			strInputs[a] = v.String()
 		}
 	}
-	rel, info, err := h.Expr.ExecuteContext(ctx, f, strInputs)
+	// Hosts quarantined by the health tracker are short-circuited with a
+	// drift-classified failure before any fetch: the query degrades around
+	// the site exactly as if navigation had drifted, but without paying
+	// the doomed page loads. The quarantine set was snapshotted at query
+	// start, so the outcome is schedule-independent.
+	start := expr.StartURL
+	if expr.StartURLVar != "" {
+		start = strInputs[expr.StartURLVar]
+	}
+	if host := web.HostOf(start); host != "" && QuarantineFrom(ctx)[host] {
+		err := fmt.Errorf("vps: populating %s: %w", name, web.MarkDrift(&web.HostError{
+			Host: host,
+			Err:  fmt.Errorf("vps: host %s is quarantined pending remap", host),
+		}))
+		sp.Label("quarantined", "true")
+		sp.EndErr(err)
+		return nil, nil, err
+	}
+	rel, info, err := expr.ExecuteContext(ctx, f, strInputs)
 	if err != nil {
 		err = fmt.Errorf("vps: populating %s: %w", name, err)
 		sp.Set("fetches", countFetches(sp))
 		sp.EndErr(err)
 		return nil, nil, err
 	}
-	ri := r.relations[name]
 	filtered := rel.Select(func(t relation.Tuple) bool {
 		for a, v := range inputs {
 			i := ri.Schema.IndexOf(a)

@@ -37,6 +37,11 @@ const (
 	// non-success status is not a transport failure and retrying it is
 	// pointless.
 	FaultSiteAnswer
+	// FaultDrift marks a healthy fetch whose pages no longer match the
+	// navigation map: the site answered, but a mapped link, form or data
+	// table has structurally vanished — the signature of a redesign, not
+	// an outage.
+	FaultDrift
 )
 
 // String renders the class name.
@@ -48,6 +53,8 @@ func (c FaultClass) String() string {
 		return "outage"
 	case FaultSiteAnswer:
 		return "site-answer"
+	case FaultDrift:
+		return "drift"
 	default:
 		return "unknown"
 	}
@@ -63,6 +70,9 @@ var (
 	// ErrSiteAnswer matches errors that carry the site's own answer
 	// (e.g. a non-success status).
 	ErrSiteAnswer = errors.New("web: site answered with an error")
+	// ErrSiteDrift matches failures classified as site drift: the site is
+	// up, but its pages no longer match the navigation map.
+	ErrSiteDrift = errors.New("web: site drifted from its navigation map")
 	// ErrCircuitOpen is the cause recorded when the circuit breaker
 	// rejects a fetch without touching the network.
 	ErrCircuitOpen = errors.New("web: circuit breaker open")
@@ -92,6 +102,8 @@ func (e *classified) Is(target error) bool {
 		return e.class == FaultOutage
 	case ErrSiteAnswer:
 		return e.class == FaultSiteAnswer
+	case ErrSiteDrift:
+		return e.class == FaultDrift
 	}
 	return false
 }
@@ -115,6 +127,9 @@ func MarkOutage(err error) error { return Mark(FaultOutage, err) }
 // MarkSiteAnswer classifies err as the site's own (non-success) answer.
 func MarkSiteAnswer(err error) error { return Mark(FaultSiteAnswer, err) }
 
+// MarkDrift classifies err as site drift: a redesign, not an outage.
+func MarkDrift(err error) error { return Mark(FaultDrift, err) }
+
 // ClassOf reports the classification of err: the outermost classified
 // wrapper on the chain, i.e. the most recent verdict.
 func ClassOf(err error) FaultClass {
@@ -133,6 +148,9 @@ func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
 
 // IsSiteAnswer reports whether err carries the site's own answer.
 func IsSiteAnswer(err error) bool { return errors.Is(err, ErrSiteAnswer) }
+
+// IsDrift reports whether err is classified as site drift.
+func IsDrift(err error) bool { return errors.Is(err, ErrSiteDrift) }
 
 // HostError attributes a failure to the host that caused it, so that
 // degradation reports can name the dead site rather than just the dead

@@ -1,10 +1,27 @@
 package web
 
 import (
+	"context"
 	"time"
 
 	"webbase/internal/trace"
 )
+
+type hedgeBudgetKey struct{}
+
+// ContextWithHedgeBudget attaches a per-query hedge budget consulted by
+// WithHedge. It reuses the RetryBudget mechanism: each hedged (second)
+// attempt consumes one unit, and when the budget runs dry the fetch waits
+// for its primary attempt instead of issuing a hedge — so a query over a
+// slow site amplifies load by at most the budget, not by its fetch count.
+func ContextWithHedgeBudget(ctx context.Context, b *RetryBudget) context.Context {
+	return context.WithValue(ctx, hedgeBudgetKey{}, b)
+}
+
+func hedgeBudgetFrom(ctx context.Context) *RetryBudget {
+	b, _ := ctx.Value(hedgeBudgetKey{}).(*RetryBudget)
+	return b
+}
 
 // WithHedge wraps inner with hedged requests: when a fetch has not
 // answered after the configured delay, a second identical attempt is
@@ -50,6 +67,21 @@ func WithHedge(inner Fetcher, after time.Duration, stats *Stats) Fetcher {
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		case <-timer.C:
+		}
+		if !hedgeBudgetFrom(ctx).take() {
+			// Budget dry: no second attempt. Waiting on the primary keeps
+			// the outcome identical to an unhedged fetch, so suppression
+			// never changes what a query answers — only its tail latency.
+			if stats != nil {
+				stats.hedgesSuppressed.Add(1)
+			}
+			trace.FromContext(ctx).Label("hedge", "suppressed")
+			select {
+			case a := <-results:
+				return a.resp, a.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
 		}
 		if stats != nil {
 			stats.hedges.Add(1)

@@ -124,3 +124,63 @@ func TestHedgeDisabled(t *testing.T) {
 		t.Error("zero delay should return inner unwrapped")
 	}
 }
+
+// slowEveryAttempt answers every attempt after the same delay, so each
+// fetch through the hedge middleware is hedge-eligible.
+type slowEveryAttempt struct {
+	attempts atomic.Int64
+	delay    time.Duration
+}
+
+func (s *slowEveryAttempt) Fetch(req *Request) (*Response, error) {
+	s.attempts.Add(1)
+	time.Sleep(s.delay)
+	return HTML(req.URL, "<html><body>"+req.URL+"</body></html>"), nil
+}
+
+// TestHedgeBudgetCapsDuplicates: with a hedge budget of 1 on the context,
+// only the first slow fetch hedges; later slow fetches wait for their
+// primary attempt and are counted suppressed — identical answers, bounded
+// duplicate load.
+func TestHedgeBudgetCapsDuplicates(t *testing.T) {
+	inner := &slowEveryAttempt{delay: 30 * time.Millisecond}
+	stats := &Stats{}
+	f := WithHedge(inner, 5*time.Millisecond, stats)
+	ctx := ContextWithHedgeBudget(context.Background(), NewRetryBudget(1))
+
+	for i := 0; i < 3; i++ {
+		req := NewGet("http://slow.example/p" + string(rune('a'+i))).WithContext(ctx)
+		if _, err := f.Fetch(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := stats.Hedges(); got != 1 {
+		t.Errorf("hedges = %d, want 1 (budget)", got)
+	}
+	if got := stats.HedgesSuppressed(); got != 2 {
+		t.Errorf("hedges suppressed = %d, want 2", got)
+	}
+	// 3 primaries + 1 hedged duplicate.
+	if got := inner.attempts.Load(); got != 4 {
+		t.Errorf("inner attempts = %d, want 4", got)
+	}
+}
+
+// TestHedgeNoBudgetIsUnlimited: without a budget on the context every
+// eligible fetch may hedge (the historical behavior).
+func TestHedgeNoBudgetIsUnlimited(t *testing.T) {
+	inner := &slowEveryAttempt{delay: 30 * time.Millisecond}
+	stats := &Stats{}
+	f := WithHedge(inner, 5*time.Millisecond, stats)
+	for i := 0; i < 2; i++ {
+		if _, err := f.Fetch(NewGet("http://slow.example/q" + string(rune('a'+i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := stats.Hedges(); got != 2 {
+		t.Errorf("hedges = %d, want 2", got)
+	}
+	if got := stats.HedgesSuppressed(); got != 0 {
+		t.Errorf("hedges suppressed = %d, want 0", got)
+	}
+}

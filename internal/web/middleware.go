@@ -29,12 +29,13 @@ type Stats struct {
 	breakerRejects atomic.Int64
 	// Overload-protection counters, maintained by WithHedge, WithBulkhead
 	// and WithDeadlineBudget.
-	hedges        atomic.Int64
-	hedgeWins     atomic.Int64
-	bulkheadSheds atomic.Int64
-	budgetSheds   atomic.Int64
-	mu            sync.Mutex
-	perHost       map[string]int64
+	hedges           atomic.Int64
+	hedgeWins        atomic.Int64
+	hedgesSuppressed atomic.Int64
+	bulkheadSheds    atomic.Int64
+	budgetSheds      atomic.Int64
+	mu               sync.Mutex
+	perHost          map[string]int64
 }
 
 // Pages returns the number of successful fetches observed.
@@ -80,6 +81,10 @@ func (s *Stats) Hedges() int64 { return s.hedges.Load() }
 // HedgeWins returns how many hedged fetches were answered by the second
 // attempt rather than the first.
 func (s *Stats) HedgeWins() int64 { return s.hedgeWins.Load() }
+
+// HedgesSuppressed returns how many hedges WithHedge declined to issue
+// because the query's hedge budget was dry.
+func (s *Stats) HedgesSuppressed() int64 { return s.hedgesSuppressed.Load() }
 
 // BulkheadSheds returns how many fetches a saturated host bulkhead shed
 // without queueing.

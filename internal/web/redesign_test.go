@@ -1,0 +1,59 @@
+package web
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRedesignRewritesOnlyWhenActive: before Activate the double is
+// transparent; after, it rewrites the configured host's pages — a pure
+// function of the response, so results are schedule-independent.
+func TestRedesignRewritesOnlyWhenActive(t *testing.T) {
+	inner := FetcherFunc(func(req *Request) (*Response, error) {
+		return HTML(req.URL, `<html><a href="/auto">Automobiles</a></html>`), nil
+	})
+	rd := &Redesign{
+		Inner: inner,
+		Rewrites: map[string][]Rewrite{
+			"a.example": {{Old: ">Automobiles<", New: ">Cars and Trucks<"}},
+		},
+	}
+	resp, err := rd.Fetch(NewGet("http://a.example/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(resp.Body), "Automobiles") {
+		t.Fatal("inactive redesign already rewrote the page")
+	}
+
+	rd.Activate()
+	if !rd.Active() {
+		t.Fatal("Active() false after Activate")
+	}
+	resp, err = rd.Fetch(NewGet("http://a.example/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(resp.Body), "Cars and Trucks") || strings.Contains(string(resp.Body), "Automobiles") {
+		t.Fatalf("active redesign did not rewrite: %s", resp.Body)
+	}
+}
+
+// TestRedesignLeavesOtherHostsAlone: rewrites are scoped to their host.
+func TestRedesignLeavesOtherHostsAlone(t *testing.T) {
+	inner := FetcherFunc(func(req *Request) (*Response, error) {
+		return HTML(req.URL, `<html>Automobiles</html>`), nil
+	})
+	rd := &Redesign{
+		Inner:    inner,
+		Rewrites: map[string][]Rewrite{"a.example": {{Old: "Automobiles", New: "Cars"}}},
+	}
+	rd.Activate()
+	resp, err := rd.Fetch(NewGet("http://b.example/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(resp.Body), "Automobiles") {
+		t.Fatalf("redesign leaked onto another host: %s", resp.Body)
+	}
+}

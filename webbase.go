@@ -97,6 +97,14 @@ type (
 	// Flaky injects deterministic fetch failures — the chaos-testing
 	// fetcher wrapper (and the CLI's -failevery).
 	Flaky = web.Flaky
+	// Redesign rewrites a host's pages on demand — the site-redesign
+	// test double driving the self-healing subsystem.
+	Redesign = web.Redesign
+	// Rewrite is one textual substitution a Redesign applies.
+	Rewrite = web.Rewrite
+	// QueryClass is a query's admission priority (Config.QueryClass,
+	// WithQueryClass); under overload ClassBatch sheds first.
+	QueryClass = core.QueryClass
 	// World is the built-in simulated car-shopping Web with its
 	// ground-truth datasets.
 	World = sites.World
@@ -149,7 +157,23 @@ var (
 	// IsBudgetExhausted reports that a query (or one of its objects) was
 	// degraded because its Config.Deadline budget ran out.
 	IsBudgetExhausted = web.IsBudgetExhausted
+	// IsDrift reports a site that answered but whose pages no longer
+	// match its navigation map (a redesign; see Config.DriftThreshold
+	// and System.SiteHealth).
+	IsDrift = web.IsDrift
 )
+
+// Admission priority classes (Config.QueryClass, WithQueryClass).
+const (
+	// ClassInteractive: a user is waiting; shed last.
+	ClassInteractive = core.ClassInteractive
+	// ClassBatch: background work; shed first under overload.
+	ClassBatch = core.ClassBatch
+)
+
+// WithQueryClass marks ctx so queries issued under it are admitted at the
+// given class, overriding Config.QueryClass.
+var WithQueryClass = core.WithQueryClass
 
 // Overload-protection sentinels. Match with errors.Is.
 var (

@@ -1,0 +1,174 @@
+// Command webbased serves a webbase as a networked query service: the
+// simulated Web and the three-layer system in one process, drivable
+// with curl.
+//
+// Usage:
+//
+//	webbased                                # open server on :8080
+//	webbased -addr :9090 -domain apartments
+//	webbased -tenant alice:alicekey:interactive:100:1m \
+//	         -tenant bob:bobkey:batch:20:1m # per-tenant keys, classes, quotas
+//	webbased -failevery 3 -retries 2        # chaos: serve through a flaky Web
+//	webbased -max-inflight 8 -queue-depth 8 -deadline 500ms   # overload protection
+//
+// Then:
+//
+//	curl -N -d "SELECT Make, Model, Price WHERE Make = 'jaguar' AND Price < BBPrice AND Condition = 'good'" localhost:8080/query
+//	curl -N -H "Authorization: Bearer alicekey" -d '{"query":"SELECT Make, Price WHERE Make = '\''saab'\''"}' localhost:8080/query
+//	curl localhost:8080/metrics
+//	curl localhost:8080/healthz
+//
+// POST /query streams the answer as NDJSON: a meta event, one event per
+// maximal object as it completes (tuples, or why the object is
+// missing), and a trailer with the query's stats and degradation
+// report. Errors come back as JSON envelopes with accurate status codes
+// (400 unparsable, 401 unknown key, 429 shed or over quota, 502 site
+// outage in strict mode, 504 deadline exhausted).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"webbase"
+	"webbase/internal/core"
+	"webbase/internal/server"
+)
+
+// tenantFlags collects repeated -tenant name:key[:class[:quota[:window]]]
+// values.
+type tenantFlags []server.Tenant
+
+func (t *tenantFlags) String() string { return fmt.Sprintf("%d tenant(s)", len(*t)) }
+
+func (t *tenantFlags) Set(v string) error {
+	parts := strings.Split(v, ":")
+	if len(parts) < 2 || len(parts) > 5 {
+		return fmt.Errorf("want name:key[:class[:quota[:window]]], got %q", v)
+	}
+	tn := server.Tenant{Name: parts[0], Key: parts[1]}
+	if len(parts) > 2 {
+		switch parts[2] {
+		case "interactive", "":
+			tn.Class = core.ClassInteractive
+		case "batch":
+			tn.Class = core.ClassBatch
+		default:
+			return fmt.Errorf("unknown class %q (interactive or batch)", parts[2])
+		}
+	}
+	if len(parts) > 3 && parts[3] != "" {
+		q, err := strconv.ParseInt(parts[3], 10, 64)
+		if err != nil || q < 0 {
+			return fmt.Errorf("bad quota %q", parts[3])
+		}
+		tn.Quota = q
+	}
+	if len(parts) > 4 && parts[4] != "" {
+		w, err := time.ParseDuration(parts[4])
+		if err != nil {
+			return fmt.Errorf("bad window %q: %v", parts[4], err)
+		}
+		tn.Window = w
+	}
+	*t = append(*t, tn)
+	return nil
+}
+
+func main() {
+	var tenants tenantFlags
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		domain      = flag.String("domain", "usedcars", "application domain: usedcars or apartments")
+		workers     = flag.Int("workers", 0, "parallel evaluation width (0 = GOMAXPROCS, 1 = sequential)")
+		retries     = flag.Int("retries", 0, "retry failed page fetches this many additional times")
+		failEvery   = flag.Uint64("failevery", 0, "chaos: deterministically fail roughly every n-th fetch attempt (0 = off)")
+		withLatency = flag.Bool("latency", false, "simulate network latency (sleeping)")
+		strict      = flag.Bool("strict", false, "fail whole queries on any site outage instead of degrading")
+		deadline    = flag.Duration("deadline", 0, "per-maximal-object time budget (0 = none)")
+		maxInflight = flag.Int("max-inflight", 0, "admission control: max concurrently executing queries (0 = unlimited)")
+		queueDepth  = flag.Int("queue-depth", 0, "admission control: bounded FIFO wait queue behind -max-inflight")
+		allowStale  = flag.Bool("allow-stale", false, "serve expired cached pages when a site is unreachable")
+		cacheMaxAge = flag.Duration("cache-maxage", 0, "cached pages older than this no longer count as fresh (0 = never expire)")
+		driftThr    = flag.Int("drift-threshold", 0, "drift reports that confirm a site redesign (0 = default 2)")
+		maxBody     = flag.Int64("max-body", 0, "request body size bound in bytes (0 = default 1MiB)")
+	)
+	flag.Var(&tenants, "tenant", "tenant spec name:key[:class[:quota[:window]]]; repeatable. Empty = open server")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "webbased ", log.LstdFlags)
+
+	cfg := webbase.Config{
+		Workers:        *workers,
+		Retries:        *retries,
+		Strict:         *strict,
+		Deadline:       *deadline,
+		MaxInFlight:    *maxInflight,
+		QueueDepth:     *queueDepth,
+		AllowStale:     *allowStale,
+		CacheMaxAge:    *cacheMaxAge,
+		DriftThreshold: *driftThr,
+	}
+	if *withLatency {
+		cfg.Latency = webbase.DefaultLatency
+		cfg.Latency.Sleep = true
+	}
+	chaos := func(f webbase.Fetcher) webbase.Fetcher {
+		if *failEvery > 0 {
+			return &webbase.Flaky{Inner: f, FailEvery: *failEvery}
+		}
+		return f
+	}
+	var (
+		sys *webbase.System
+		err error
+	)
+	switch *domain {
+	case "usedcars":
+		cfg.Fetcher = chaos(webbase.NewSimulatedWorld().Server)
+		sys, err = webbase.New(cfg)
+	case "apartments":
+		cfg.Fetcher = chaos(webbase.NewApartmentWorld().Server)
+		sys, err = webbase.NewApartments(cfg)
+	default:
+		err = fmt.Errorf("unknown domain %q (usedcars or apartments)", *domain)
+	}
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	srv, err := server.New(server.Config{
+		System:       sys,
+		Tenants:      tenants,
+		Logger:       logger,
+		MaxBodyBytes: *maxBody,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		logger.Println("shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(sctx)
+	}()
+	logger.Printf("serving %s domain on %s (tenants: %s)", *domain, *addr, tenants.String())
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatal(err)
+	}
+}

@@ -1,18 +1,25 @@
 // Overhttp demonstrates that the webbase is indifferent to where the raw
-// Web lives: the simulated sites are served over real HTTP sockets
-// (net/http + virtual hosting on the Host header), and the webbase
-// navigates them through an HTTP client fetcher — the same code path a
-// deployment against live sites would use.
+// Web lives AND to where its callers live: the simulated sites are
+// served over real HTTP sockets (net/http + virtual hosting on the Host
+// header), the webbase navigates them through an HTTP client fetcher,
+// and the answer is served back out over HTTP by the query service from
+// internal/server — the same server cmd/webbased runs — as an
+// incremental NDJSON stream. Real sockets on both sides of the layered
+// architecture.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strings"
 
 	"webbase"
+	"webbase/internal/server"
 	"webbase/internal/web"
 )
 
@@ -22,15 +29,15 @@ func main() {
 	// Serve the whole simulated Web on one real socket. The empty host
 	// makes the handler dispatch on the Host header, so all twelve
 	// virtual hosts share the listener.
-	ts := httptest.NewServer(web.HTTPHandler(world.Server, "http", ""))
-	defer ts.Close()
-	fmt.Println("simulated Web listening on", ts.URL)
+	rawWeb := httptest.NewServer(web.HTTPHandler(world.Server, "http", ""))
+	defer rawWeb.Close()
+	fmt.Println("simulated Web listening on", rawWeb.URL)
 
 	// The fetcher rewrites virtual-host URLs to the real listener while
 	// preserving the Host header through the URL host → request host
 	// mapping. A custom transport sends every request to the test
 	// listener but keeps the virtual host name.
-	listener, err := url.Parse(ts.URL)
+	listener, err := url.Parse(rawWeb.URL)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,14 +48,49 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, stats, err := sys.QueryString(
-		"SELECT Make, Model, Year, Price WHERE Make = 'honda' AND Model = 'accord' ORDER BY Price LIMIT 5")
+
+	// Serve the webbase itself over HTTP: the query service streams
+	// answers as NDJSON, one event per maximal object.
+	srv, err := server.New(server.Config{System: sys})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nFive cheapest honda accords, fetched over real HTTP:")
-	fmt.Print(res.Relation)
-	fmt.Printf("\n%s\n", stats)
+	service := httptest.NewServer(srv.Handler())
+	defer service.Close()
+	fmt.Println("query service listening on", service.URL)
+
+	resp, err := http.Post(service.URL+"/query", "text/plain", strings.NewReader(
+		"SELECT Make, Model, Year, Price WHERE Make = 'honda' AND Model = 'accord' ORDER BY Price LIMIT 5"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	fmt.Println("\nFive cheapest honda accords, fetched over real HTTP, answered over real HTTP:")
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		// "tuples" carries the rows in a tuples event but the total count
+		// in the trailer, so decode each line generically.
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			log.Fatal(err)
+		}
+		switch ev["event"] {
+		case "tuples":
+			for _, t := range ev["tuples"].([]any) {
+				fmt.Println(" ", t)
+			}
+		case "trailer":
+			stats := ev["stats"].(map[string]any)
+			fmt.Printf("\n%.0f pages fetched, %.0f deduped\n", stats["Pages"].(float64), stats["Deduped"].(float64))
+		case "error":
+			log.Fatalf("query failed: %s", sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // hostRewriteTransport redirects every request to the test listener while

@@ -502,7 +502,44 @@ func (wb *Webbase) QueryTraced(ctx context.Context, q ur.Query) (*ur.Result, *Qu
 	}
 	defer wb.admission.release()
 	tr := trace.New(q.String(), wb.clock)
-	res, qs, err := wb.runAdmitted(trace.ContextWith(ctx, tr.Root), q, wait)
+	res, qs, err := wb.runAdmitted(trace.ContextWith(ctx, tr.Root), q, wait, nil)
+	if err != nil {
+		tr.Root.EndErr(err)
+		return nil, nil, tr, err
+	}
+	tr.Root.Set("tuples", int64(res.Relation.Len()))
+	tr.Root.End()
+	return res, qs, tr, nil
+}
+
+// QueryStream is QueryContext with incremental answer delivery: as each
+// maximal object completes, sink receives its finished contribution
+// (new unique tuples, a degradation failure, or a binding skip) in plan
+// order, so a caller can ship partial answers while later objects are
+// still navigating their sites. The concatenation of delivered tuples
+// is byte-identical to the Result.Relation the call returns, whatever
+// Config.Workers is. Queries with ORDER BY or LIMIT deliver once,
+// buffered, after sort and truncation (see ur.ObjectDelivery.Buffered).
+func (wb *Webbase) QueryStream(ctx context.Context, q ur.Query, sink ur.ObjectSink) (*ur.Result, *QueryStats, error) {
+	wait, err := wb.admission.acquire(ctx, queryClassFrom(ctx, wb.class))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer wb.admission.release()
+	return wb.runAdmitted(ctx, q, wait, sink)
+}
+
+// QueryStreamTraced is QueryStream with execution tracing (see
+// QueryTraced). Like QueryTraced, a query the admission gate sheds
+// returns a nil trace; the sink never fires for a shed query.
+func (wb *Webbase) QueryStreamTraced(ctx context.Context, q ur.Query, sink ur.ObjectSink) (*ur.Result, *QueryStats, *trace.Trace, error) {
+	wait, err := wb.admission.acquire(ctx, queryClassFrom(ctx, wb.class))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer wb.admission.release()
+	tr := trace.New(q.String(), wb.clock)
+	res, qs, err := wb.runAdmitted(trace.ContextWith(ctx, tr.Root), q, wait, sink)
 	if err != nil {
 		tr.Root.EndErr(err)
 		return nil, nil, tr, err
@@ -520,14 +557,15 @@ func (wb *Webbase) run(ctx context.Context, q ur.Query) (*ur.Result, *QueryStats
 		return nil, nil, err
 	}
 	defer wb.admission.release()
-	return wb.runAdmitted(ctx, q, wait)
+	return wb.runAdmitted(ctx, q, wait, nil)
 }
 
 // runAdmitted evaluates an already-admitted query: per-query stats delta,
 // bounded worker pool, metrics observation. The execution clock starts
 // here — after admission — so queue time appears only in AdmissionWait,
-// never in Elapsed or in span durations.
-func (wb *Webbase) runAdmitted(ctx context.Context, q ur.Query, admissionWait time.Duration) (*ur.Result, *QueryStats, error) {
+// never in Elapsed or in span durations. A non-nil sink receives
+// per-object deliveries as evaluation streams (see QueryStream).
+func (wb *Webbase) runAdmitted(ctx context.Context, q ur.Query, admissionWait time.Duration, sink ur.ObjectSink) (*ur.Result, *QueryStats, error) {
 	before := wb.snapshot()
 	start := wb.now()
 	ctx = algebra.WithPool(ctx, algebra.NewPool(wb.workers))
@@ -553,7 +591,7 @@ func (wb *Webbase) runAdmitted(ctx context.Context, q ur.Query, admissionWait ti
 	// here, so a health transition mid-query cannot change which sites a
 	// running query consults (outcomes stay schedule-independent).
 	ctx = vps.ContextWithQuarantine(ctx, wb.health.Quarantined())
-	res, err := wb.UR.EvalContext(ctx, q, wb.Logical)
+	res, err := wb.UR.EvalStream(ctx, q, wb.Logical, sink)
 	if err != nil {
 		wb.metrics.Counter("queries_failed_total").Add(1)
 		return nil, nil, err

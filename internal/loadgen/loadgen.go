@@ -1,0 +1,168 @@
+// Package loadgen drives concurrent query load against a running
+// webbase query server and reports per-tenant outcomes: how many
+// requests were served, shed, or failed, and the served-latency
+// distribution. It is the measurement half of the networked service —
+// the same role the in-process bench harness plays for the core layer,
+// but exercised end to end through HTTP, streaming, and tenant
+// admission.
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TenantLoad describes one tenant's share of the load: Clients
+// concurrent clients, each posting PerClient queries sequentially with
+// the tenant's API key.
+type TenantLoad struct {
+	Name      string `json:"name"`
+	Key       string `json:"-"`
+	Clients   int    `json:"clients"`
+	PerClient int    `json:"per_client"`
+}
+
+// TenantReport is one tenant's aggregated outcome. Latency percentiles
+// are over served (HTTP 200) requests only, measured from POST to the
+// last byte of the stream.
+type TenantReport struct {
+	Name     string  `json:"name"`
+	Requests int     `json:"requests"`
+	Served   int     `json:"served"`
+	Shed     int     `json:"shed"`   // HTTP 429: tenant quota or admission gate
+	Failed   int     `json:"failed"` // any other non-200
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// Report is a full run's outcome, one entry per tenant in input order.
+type Report struct {
+	Tenants []TenantReport `json:"tenants"`
+}
+
+// ByTenant returns the named tenant's report, or nil.
+func (r *Report) ByTenant(name string) *TenantReport {
+	for i := range r.Tenants {
+		if r.Tenants[i].Name == name {
+			return &r.Tenants[i]
+		}
+	}
+	return nil
+}
+
+// tally accumulates one tenant's outcomes under a lock shared by its
+// clients.
+type tally struct {
+	mu        sync.Mutex
+	served    int
+	shed      int
+	failed    int
+	latencies []time.Duration
+}
+
+// Run fires every tenant's clients concurrently at baseURL and blocks
+// until all requests complete. Each request POSTs query to /query with
+// the tenant's key and drains the whole response stream, so measured
+// latency covers the full answer, not just the first byte.
+func Run(baseURL string, loads []TenantLoad, query string) (*Report, error) {
+	for _, l := range loads {
+		if l.Name == "" || l.Clients <= 0 || l.PerClient <= 0 {
+			return nil, fmt.Errorf("loadgen: bad tenant load %+v", l)
+		}
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+	defer client.CloseIdleConnections()
+
+	tallies := make([]*tally, len(loads))
+	var wg sync.WaitGroup
+	for i, l := range loads {
+		tallies[i] = &tally{}
+		for c := 0; c < l.Clients; c++ {
+			wg.Add(1)
+			go func(l TenantLoad, ty *tally) {
+				defer wg.Done()
+				for n := 0; n < l.PerClient; n++ {
+					shoot(client, baseURL, l.Key, query, ty)
+				}
+			}(l, tallies[i])
+		}
+	}
+	wg.Wait()
+
+	rep := &Report{Tenants: make([]TenantReport, len(loads))}
+	for i, l := range loads {
+		ty := tallies[i]
+		rep.Tenants[i] = TenantReport{
+			Name:     l.Name,
+			Requests: l.Clients * l.PerClient,
+			Served:   ty.served,
+			Shed:     ty.shed,
+			Failed:   ty.failed,
+			P50Ms:    percentileMs(ty.latencies, 50),
+			P99Ms:    percentileMs(ty.latencies, 99),
+		}
+	}
+	return rep, nil
+}
+
+// shoot issues one query and files its outcome.
+func shoot(client *http.Client, baseURL, key, query string, ty *tally) {
+	req, err := http.NewRequest(http.MethodPost, baseURL+"/query", strings.NewReader(query))
+	if err != nil {
+		ty.record(0, err)
+		return
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		ty.record(0, err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	elapsed := time.Since(start)
+
+	ty.mu.Lock()
+	defer ty.mu.Unlock()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		ty.served++
+		ty.latencies = append(ty.latencies, elapsed)
+	case http.StatusTooManyRequests:
+		ty.shed++
+	default:
+		ty.failed++
+	}
+}
+
+func (ty *tally) record(_ time.Duration, _ error) {
+	ty.mu.Lock()
+	defer ty.mu.Unlock()
+	ty.failed++
+}
+
+// percentileMs is the nearest-rank percentile of a latency sample, in
+// milliseconds. 0 for an empty sample.
+func percentileMs(sample []time.Duration, p int) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), sample...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * n)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return float64(sorted[rank-1]) / float64(time.Millisecond)
+}

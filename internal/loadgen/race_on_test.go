@@ -1,0 +1,7 @@
+//go:build race
+
+package loadgen
+
+// raceEnabled widens wall-clock bounds when the race detector's
+// instrumentation (typically 2-10x slowdown) is in the measurement.
+const raceEnabled = true

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"webbase/internal/core"
+	"webbase/internal/sites"
+)
+
+// FuzzQueryEndpoint throws arbitrary bytes at POST /query. Whatever the
+// body — malformed UR text, truncated JSON envelopes, invalid UTF-8,
+// oversized payloads — the endpoint must not panic and must answer with
+// well-formed JSON: either an NDJSON stream whose every line parses (a
+// 200), or an error envelope whose status/code agree with the HTTP
+// status line.
+func FuzzQueryEndpoint(f *testing.F) {
+	wb, err := core.New(core.Config{Fetcher: sites.BuildWorld().Server, Workers: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	srv, err := New(Config{System: wb, MaxBodyBytes: 4096})
+	if err != nil {
+		f.Fatal(err)
+	}
+	handler := srv.Handler()
+
+	f.Add("SELECT Make, Model WHERE Make = 'saab'")
+	f.Add("SELECT")
+	f.Add("{")
+	f.Add(`{"query":"SELECT Make"}`)
+	f.Add(`{"query": "SELECT`)
+	f.Add("\xff\xfe\xfd SELECT")
+	f.Add(strings.Repeat("x", 8192))
+	f.Add("SELECT Bogus")
+	f.Add("")
+	f.Add("SELECT Make WHERE Price < ")
+	f.Add(`{"query": 42}`)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req) // must not panic
+
+		resp := rec.Result()
+		defer resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			n := 0
+			last := ""
+			for sc.Scan() {
+				var m map[string]any
+				if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+					t.Fatalf("body %q: malformed stream line %q: %v", body, sc.Text(), err)
+				}
+				ev, _ := m["event"].(string)
+				if ev == "" {
+					t.Fatalf("body %q: stream line without event: %q", body, sc.Text())
+				}
+				last = ev
+				n++
+			}
+			if n == 0 || (last != "trailer" && last != "error") {
+				t.Fatalf("body %q: 200 stream of %d events ends with %q, want trailer or error", body, n, last)
+			}
+		default:
+			var env errorEnvelope
+			dec := json.NewDecoder(resp.Body)
+			if err := dec.Decode(&env); err != nil {
+				t.Fatalf("body %q: status %d with non-envelope body: %v", body, resp.StatusCode, err)
+			}
+			if env.Error.Code == "" || env.Error.Status != resp.StatusCode {
+				t.Fatalf("body %q: malformed envelope %+v for status %d", body, env.Error, resp.StatusCode)
+			}
+		}
+	})
+}

@@ -1,0 +1,318 @@
+// Package server exposes a webbase as a networked query service: the
+// layered architecture's external schema, drivable over HTTP.
+//
+// POST /query evaluates a universal-relation query and streams the
+// answer incrementally as NDJSON — one event per maximal object, shipped
+// the moment the object completes, then a trailer carrying QueryStats
+// and the degradation report. The union-of-maximal-objects semantics is
+// what makes this sound: each object's contribution is final when it
+// finishes, so partial answers are well-defined, and the plan-order gate
+// in the UR layer keeps the stream byte-identical whatever the worker
+// count.
+//
+// Failures map the error taxonomy onto accurate status codes: a shed
+// query (admission gate or tenant quota) is 429, an exhausted deadline
+// budget is 504, a malformed or unplannable query is 400, and a
+// strict-mode site outage or drift is 502 — each as a JSON error
+// envelope when nothing has streamed yet, or a terminal error event when
+// the failure struck mid-stream.
+//
+// Tenancy rides on the existing admission classes: each API key names a
+// tenant with an interactive or batch class and a fixed-window quota,
+// and both served and shed queries are accounted per tenant in /metrics.
+// GET /healthz reports the self-healing tracker's quarantine state.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"webbase/internal/core"
+	"webbase/internal/ur"
+	"webbase/internal/web"
+)
+
+// DefaultMaxBodyBytes bounds POST /query bodies when Config.MaxBodyBytes
+// is zero. Queries are one SELECT line; a megabyte is generous.
+const DefaultMaxBodyBytes = 1 << 20
+
+// Config assembles a Server.
+type Config struct {
+	// System is the webbase to serve. Required.
+	System *core.Webbase
+	// Tenants are the API keys admitted to POST /query. Empty means the
+	// server is open: every request runs as the anonymous interactive
+	// tenant with no quota.
+	Tenants []Tenant
+	// Logger receives one structured line per request. nil discards.
+	Logger *log.Logger
+	// Clock drives tenant quota windows; nil means time.Now. Tests
+	// inject a fake clock for exact shed accounting.
+	Clock func() time.Time
+	// MaxBodyBytes bounds the request body; 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+// Server handles the query service's three routes. Build one with New
+// and mount Handler on any http.Server.
+type Server struct {
+	sys     *core.Webbase
+	tenants *tenantSet
+	logger  *log.Logger
+	maxBody int64
+	reqSeq  atomic.Int64
+}
+
+// New validates cfg and assembles the server.
+func New(cfg Config) (*Server, error) {
+	if cfg.System == nil {
+		return nil, fmt.Errorf("server: Config.System is required")
+	}
+	tenants, err := newTenantSet(cfg.Tenants, cfg.Clock)
+	if err != nil {
+		return nil, err
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	return &Server{sys: cfg.System, tenants: tenants, logger: logger, maxBody: maxBody}, nil
+}
+
+// Handler returns the route mux: POST /query, GET /metrics, GET /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// handleQuery is the streaming query endpoint. The response stays
+// uncommitted until the first object delivery, so everything that can
+// fail up front — auth, quota, body, parse, admission — still gets an
+// accurate status code; after the stream starts, failures become a
+// terminal error event.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	rid := r.Header.Get("X-Request-Id")
+	if rid == "" {
+		rid = fmt.Sprintf("r-%06d", s.reqSeq.Add(1))
+	}
+
+	tenant, err := s.tenants.admit(apiKey(r))
+	if err != nil {
+		body := s.errorBody(rid, err)
+		s.account(tenant.Name, body.Status)
+		writeEnvelope(w, body)
+		s.logger.Printf("req=%s tenant=%s status=%d code=%s", rid, tenantLabel(tenant), body.Status, body.Code)
+		return
+	}
+	s.count("server_queries_total", tenant.Name)
+
+	text, err := readQueryText(r.Body, s.maxBody)
+	if err != nil {
+		s.fail(w, rid, tenant, err)
+		return
+	}
+	q, err := ur.ParseQuery(s.sys.UR, text)
+	if err != nil {
+		s.fail(w, rid, tenant, badQuery(err))
+		return
+	}
+
+	ctx := core.WithQueryClass(r.Context(), tenant.Class)
+	sw := newStreamWriter(w, rid, q.String(), q.Output)
+	res, qs, tr, err := s.sys.QueryStreamTraced(ctx, q, sw.writeDelivery)
+	if tr != nil {
+		// Request identity on the root span: a Label, not a Set, because
+		// it is request-scoped rather than a deterministic counter.
+		tr.Root.Label("request-id", rid)
+		tr.Root.Label("tenant", tenant.Name)
+	}
+	if err != nil {
+		body := s.errorBody(rid, err)
+		s.account(tenant.Name, body.Status)
+		if sw.started {
+			sw.writeErrorEvent(body)
+		} else {
+			writeEnvelope(w, body)
+		}
+		s.logger.Printf("req=%s tenant=%s status=%d code=%s query=%q",
+			rid, tenant.Name, body.Status, body.Code, text)
+		return
+	}
+	sw.writeTrailer(res, qs)
+	s.count("server_queries_served_total", tenant.Name)
+	s.logger.Printf("req=%s tenant=%s status=200 tuples=%d objects=%d elapsed=%s query=%q",
+		rid, tenant.Name, res.Relation.Len(), len(res.Plan.Objects), qs.Elapsed, text)
+}
+
+// fail writes a pre-stream error envelope and accounts it.
+func (s *Server) fail(w http.ResponseWriter, rid string, tenant Tenant, err error) {
+	body := s.errorBody(rid, err)
+	s.account(tenant.Name, body.Status)
+	writeEnvelope(w, body)
+	s.logger.Printf("req=%s tenant=%s status=%d code=%s", rid, tenant.Name, body.Status, body.Code)
+}
+
+// handleMetrics renders the webbase registry — every in-process counter,
+// gauge and histogram plus the server's per-tenant accounting — in the
+// registry's sorted text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, s.sys.Metrics().Snapshot().String())
+}
+
+// healthzResponse is the GET /healthz body.
+type healthzResponse struct {
+	Status      string   `json:"status"` // "ok" or "degraded"
+	Quarantined []string `json:"quarantined"`
+}
+
+// handleHealthz reports the self-healing tracker's view: ok unless some
+// site is drift-quarantined. The server itself answering is the
+// liveness signal, so the status code stays 200 either way.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	hz := healthzResponse{Status: "ok", Quarantined: []string{}}
+	for host := range s.sys.SiteHealth().Quarantined() {
+		hz.Quarantined = append(hz.Quarantined, host)
+	}
+	sort.Strings(hz.Quarantined)
+	if len(hz.Quarantined) > 0 {
+		hz.Status = "degraded"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(hz)
+}
+
+// count bumps a counter twice: the overall total and the per-tenant
+// labeled series.
+func (s *Server) count(name, tenant string) {
+	m := s.sys.Metrics()
+	m.Counter(name).Add(1)
+	if tenant != "" {
+		m.Counter(name + `{tenant="` + tenant + `"}`).Add(1)
+	}
+}
+
+// account attributes one failed request to its tenant: 429s are sheds
+// (quota or admission gate — the query never ran), everything else a
+// failure.
+func (s *Server) account(tenant string, status int) {
+	if status == http.StatusTooManyRequests {
+		s.count("server_queries_shed_total", tenant)
+	} else {
+		s.count("server_queries_failed_total", tenant)
+	}
+}
+
+// errParse tags query-text failures so errorBody maps them to 400.
+type parseError struct{ err error }
+
+func (e *parseError) Error() string { return e.err.Error() }
+func (e *parseError) Unwrap() error { return e.err }
+
+func badQuery(err error) error { return &parseError{err: err} }
+
+// errBodyTooLarge is returned when the request body exceeds the bound.
+var errBodyTooLarge = errors.New("server: request body too large")
+
+// errorBody maps the error taxonomy onto the wire: status code + stable
+// machine-readable code. Order matters — a strict-mode budget error is
+// classified both budget-exhausted and outage, and 504 (the caller's
+// deadline economics) must win over 502 (the site's fault).
+func (s *Server) errorBody(rid string, err error) errorBody {
+	status, code := http.StatusInternalServerError, "internal"
+	var pe *parseError
+	switch {
+	case errors.Is(err, errUnknownKey):
+		status, code = http.StatusUnauthorized, "unauthorized"
+	case errors.Is(err, errQuotaExhausted):
+		status, code = http.StatusTooManyRequests, "quota-exhausted"
+	case errors.Is(err, core.ErrShedded):
+		status, code = http.StatusTooManyRequests, "shedded"
+	case errors.Is(err, errBodyTooLarge):
+		status, code = http.StatusRequestEntityTooLarge, "body-too-large"
+	case errors.As(err, &pe),
+		errors.Is(err, ur.ErrUnknownAttribute),
+		errors.Is(err, ur.ErrNotCoverable):
+		status, code = http.StatusBadRequest, "bad-query"
+	case web.IsBudgetExhausted(err), errors.Is(err, context.DeadlineExceeded):
+		status, code = http.StatusGatewayTimeout, "deadline"
+	case web.IsDrift(err):
+		status, code = http.StatusBadGateway, "site-drift"
+	case web.IsOutage(err):
+		status, code = http.StatusBadGateway, "site-outage"
+	case web.IsSiteAnswer(err):
+		status, code = http.StatusBadGateway, "site-answer"
+	case errors.Is(err, context.Canceled):
+		// Client went away; the nginx convention for "nobody is reading
+		// this status anyway".
+		status, code = 499, "client-closed-request"
+	}
+	return errorBody{Code: code, Status: status, Message: err.Error(), RequestID: rid}
+}
+
+// errorEnvelope is the pre-stream error shape: {"error":{...}}.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+func writeEnvelope(w http.ResponseWriter, body errorBody) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Request-Id", body.RequestID)
+	w.WriteHeader(body.Status)
+	json.NewEncoder(w).Encode(errorEnvelope{Error: body})
+}
+
+// queryRequest is the JSON form of a query body.
+type queryRequest struct {
+	Query string `json:"query"`
+}
+
+// readQueryText extracts the UR query text from the body: either a JSON
+// envelope {"query":"SELECT ..."} or the raw query text itself,
+// distinguished by the first non-space byte.
+func readQueryText(body io.Reader, maxBody int64) (string, error) {
+	raw, err := io.ReadAll(io.LimitReader(body, maxBody+1))
+	if err != nil {
+		return "", badQuery(fmt.Errorf("server: reading request body: %w", err))
+	}
+	if int64(len(raw)) > maxBody {
+		return "", errBodyTooLarge
+	}
+	text := strings.TrimSpace(string(raw))
+	if strings.HasPrefix(text, "{") {
+		var qr queryRequest
+		if err := json.Unmarshal([]byte(text), &qr); err != nil {
+			return "", badQuery(fmt.Errorf("server: decoding JSON query body: %w", err))
+		}
+		text = qr.Query
+	}
+	if text == "" {
+		return "", badQuery(errors.New("server: empty query"))
+	}
+	return text, nil
+}
+
+// tenantLabel names a tenant in log lines, tolerating the zero Tenant an
+// unauthorized request resolves to.
+func tenantLabel(t Tenant) string {
+	if t.Name == "" {
+		return "-"
+	}
+	return t.Name
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"webbase/internal/core"
+	"webbase/internal/relation"
+	"webbase/internal/ur"
+)
+
+// The NDJSON wire protocol: one JSON object per line, flushed as
+// produced. A successful stream is
+//
+//	{"event":"meta", ...}
+//	{"event":"tuples"|"unavailable"|"skipped", ...}   // one per maximal object, plan order
+//	{"event":"trailer", ...}
+//
+// and a query that fails after streaming began ends with an
+// {"event":"error", ...} line instead of the trailer. A query that
+// fails before anything streamed gets a plain JSON error envelope with
+// an accurate status code (see writeEnvelope); the stream path is
+// committed to 200 only once the first event is written.
+
+// metaEvent opens a stream: the request identity and the answer schema.
+type metaEvent struct {
+	Event     string   `json:"event"` // "meta"
+	RequestID string   `json:"request_id"`
+	Query     string   `json:"query"`
+	Schema    []string `json:"schema"`
+}
+
+// tuplesEvent carries one maximal object's new unique tuples — or, for
+// an ORDER BY / LIMIT query (index -1, buffered), the whole sorted
+// answer at once.
+type tuplesEvent struct {
+	Event    string   `json:"event"` // "tuples"
+	Index    int      `json:"index"`
+	Object   []string `json:"object,omitempty"`
+	Buffered bool     `json:"buffered,omitempty"`
+	Count    int      `json:"count"`
+	Tuples   [][]any  `json:"tuples"`
+}
+
+// unavailableEvent reports a maximal object degraded out of the answer.
+type unavailableEvent struct {
+	Event   string         `json:"event"` // "unavailable"
+	Index   int            `json:"index"`
+	Object  []string       `json:"object"`
+	Failure ur.SiteFailure `json:"failure"`
+}
+
+// skippedEvent reports a maximal object skipped on binding grounds.
+type skippedEvent struct {
+	Event  string   `json:"event"` // "skipped"
+	Index  int      `json:"index"`
+	Object []string `json:"object"`
+	Reason string   `json:"reason"`
+}
+
+// errorBody is the error payload shared by mid-stream error events and
+// pre-stream error envelopes.
+type errorBody struct {
+	Code      string `json:"code"`
+	Status    int    `json:"status"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id"`
+}
+
+// errorEvent ends a stream that failed after its 200 was committed.
+type errorEvent struct {
+	Event string    `json:"event"` // "error"
+	Error errorBody `json:"error"`
+}
+
+// trailerEvent closes a successful stream with everything the
+// in-process caller would have gotten from Result and QueryStats.
+type trailerEvent struct {
+	Event   string   `json:"event"` // "trailer"
+	Tuples  int      `json:"tuples"`
+	Objects int      `json:"objects"`
+	Skipped []string `json:"skipped,omitempty"`
+	// Degradation mirrors Result.Degradation; Report is its exact
+	// String() rendering so remote callers see byte-for-byte what an
+	// in-process caller would print.
+	Degradation *degradationReport `json:"degradation,omitempty"`
+	Stats       *core.QueryStats   `json:"stats"`
+}
+
+type degradationReport struct {
+	Unavailable []ur.SiteFailure `json:"unavailable"`
+	StaleServed int64            `json:"stale_served"`
+	Report      string           `json:"report"`
+}
+
+// streamWriter writes the NDJSON protocol onto one response. Writes are
+// already serialized — deliveries come through the plan-order gate and
+// the trailer is written after evaluation joins its workers — so the
+// writer needs no lock of its own.
+type streamWriter struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	enc     *json.Encoder
+	meta    metaEvent
+	started bool
+}
+
+func newStreamWriter(w http.ResponseWriter, rid, query string, schema []string) *streamWriter {
+	f, _ := w.(http.Flusher)
+	return &streamWriter{
+		w: w, flusher: f, enc: json.NewEncoder(w),
+		meta: metaEvent{Event: "meta", RequestID: rid, Query: query, Schema: schema},
+	}
+}
+
+// start commits the response to a 200 NDJSON stream and emits the meta
+// event. Idempotent; called lazily by the first event so pre-stream
+// failures can still use a proper status code.
+func (sw *streamWriter) start() {
+	if sw.started {
+		return
+	}
+	sw.started = true
+	sw.w.Header().Set("Content-Type", "application/x-ndjson")
+	sw.w.Header().Set("X-Request-Id", sw.meta.RequestID)
+	sw.w.WriteHeader(http.StatusOK)
+	sw.emit(sw.meta)
+}
+
+func (sw *streamWriter) emit(event any) {
+	sw.enc.Encode(event) // an aborted client surfaces at the next write; nothing to do here
+	if sw.flusher != nil {
+		sw.flusher.Flush()
+	}
+}
+
+// writeDelivery ships one gate delivery as its wire event.
+func (sw *streamWriter) writeDelivery(d ur.ObjectDelivery) {
+	sw.start()
+	switch {
+	case d.Failure != nil:
+		sw.emit(unavailableEvent{Event: "unavailable", Index: d.Index, Object: d.Object, Failure: *d.Failure})
+	case d.Skipped != "":
+		sw.emit(skippedEvent{Event: "skipped", Index: d.Index, Object: d.Object, Reason: d.Skipped})
+	default:
+		sw.emit(tuplesEvent{Event: "tuples", Index: d.Index, Object: d.Object,
+			Buffered: d.Buffered, Count: len(d.Tuples), Tuples: encodeTuples(d.Tuples)})
+	}
+}
+
+// writeTrailer closes a successful stream.
+func (sw *streamWriter) writeTrailer(res *ur.Result, qs *core.QueryStats) {
+	sw.start()
+	ev := trailerEvent{
+		Event:   "trailer",
+		Tuples:  res.Relation.Len(),
+		Objects: len(res.Plan.Objects),
+		Skipped: res.Skipped,
+		Stats:   qs,
+	}
+	if res.Degradation != nil {
+		ev.Degradation = &degradationReport{
+			Unavailable: res.Degradation.Unavailable,
+			StaleServed: res.Degradation.StaleServed,
+			Report:      res.Degradation.String(),
+		}
+	}
+	sw.emit(ev)
+}
+
+// writeErrorEvent ends a stream whose query failed after events were
+// already written.
+func (sw *streamWriter) writeErrorEvent(body errorBody) {
+	sw.emit(errorEvent{Event: "error", Error: body})
+}
+
+// encodeTuples renders tuples as JSON arrays of native values (null,
+// string, number, bool), positionally aligned with the meta schema.
+func encodeTuples(ts []relation.Tuple) [][]any {
+	out := make([][]any, len(ts))
+	for i, t := range ts {
+		row := make([]any, len(t))
+		for j, v := range t {
+			switch v.Kind() {
+			case relation.KindString:
+				row[j] = v.Str()
+			case relation.KindInt:
+				row[j] = v.IntVal()
+			case relation.KindFloat:
+				row[j] = v.FloatVal()
+			case relation.KindBool:
+				row[j] = v.BoolVal()
+			default:
+				row[j] = nil
+			}
+		}
+		out[i] = row
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"webbase/internal/core"
+)
+
+// Tenant identification errors; writeEnvelope maps them onto 401/429.
+var (
+	errUnknownKey     = errors.New("server: unknown API key")
+	errQuotaExhausted = errors.New("server: tenant quota exhausted")
+)
+
+// DefaultQuotaWindow is the fixed quota window applied when a Tenant
+// sets a Quota but no Window.
+const DefaultQuotaWindow = time.Minute
+
+// Tenant is one API key's identity and service level: the admission
+// class its queries run at (interactive queries outrank batch under
+// overload) and a fixed-window request quota — the access-limited-source
+// discipline, applied to callers instead of sites.
+type Tenant struct {
+	// Key is the API key presented as "Authorization: Bearer <key>" or
+	// "X-API-Key: <key>". Required.
+	Key string
+	// Name labels the tenant in metrics and logs. Required.
+	Name string
+	// Class is the admission class of the tenant's queries.
+	Class core.QueryClass
+	// Quota caps admitted queries per Window; beyond it requests are
+	// shed with 429 before any work happens. 0 = unlimited.
+	Quota int64
+	// Window is the fixed quota window. 0 means DefaultQuotaWindow.
+	Window time.Duration
+}
+
+// tenantState is a Tenant plus its current quota window.
+type tenantState struct {
+	Tenant
+	windowStart time.Time
+	used        int64
+}
+
+// tenantSet maps API keys to tenants and enforces fixed-window quotas.
+// With no tenants configured the set is open: every request runs as the
+// anonymous interactive tenant with no quota.
+type tenantSet struct {
+	clock func() time.Time
+
+	mu    sync.Mutex
+	byKey map[string]*tenantState
+	anon  *Tenant // non-nil when the set is open
+}
+
+func newTenantSet(tenants []Tenant, clock func() time.Time) (*tenantSet, error) {
+	if clock == nil {
+		clock = time.Now
+	}
+	ts := &tenantSet{clock: clock, byKey: make(map[string]*tenantState, len(tenants))}
+	if len(tenants) == 0 {
+		ts.anon = &Tenant{Name: "anonymous", Class: core.ClassInteractive}
+		return ts, nil
+	}
+	names := make(map[string]bool, len(tenants))
+	for _, t := range tenants {
+		if t.Key == "" || t.Name == "" {
+			return nil, fmt.Errorf("server: tenant needs both a key and a name: %+v", t)
+		}
+		if _, dup := ts.byKey[t.Key]; dup {
+			return nil, fmt.Errorf("server: duplicate tenant key %q", t.Key)
+		}
+		if names[t.Name] {
+			return nil, fmt.Errorf("server: duplicate tenant name %q", t.Name)
+		}
+		names[t.Name] = true
+		if t.Window <= 0 {
+			t.Window = DefaultQuotaWindow
+		}
+		ts.byKey[t.Key] = &tenantState{Tenant: t}
+	}
+	return ts, nil
+}
+
+// admit authenticates the key and spends one unit of the tenant's quota.
+// It returns the tenant's identity even when the quota sheds the
+// request, so the caller can attribute the shed to the right tenant.
+func (ts *tenantSet) admit(key string) (Tenant, error) {
+	if ts.anon != nil {
+		return *ts.anon, nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	st, ok := ts.byKey[key]
+	if !ok {
+		return Tenant{}, errUnknownKey
+	}
+	if st.Quota > 0 {
+		now := ts.clock()
+		if now.Sub(st.windowStart) >= st.Window {
+			st.windowStart = now
+			st.used = 0
+		}
+		if st.used >= st.Quota {
+			return st.Tenant, fmt.Errorf("%w: tenant %q spent %d of %d this window",
+				errQuotaExhausted, st.Name, st.used, st.Quota)
+		}
+		st.used++
+	}
+	return st.Tenant, nil
+}
+
+// apiKey extracts the request's API key: a Bearer token, else the
+// X-API-Key header.
+func apiKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if k, ok := strings.CutPrefix(auth, "Bearer "); ok {
+			return strings.TrimSpace(k)
+		}
+	}
+	return r.Header.Get("X-API-Key")
+}

@@ -366,9 +366,27 @@ func (s *Schema) Eval(q Query, cat algebra.Catalog) (*Result, error) {
 // identical tuple for tuple regardless of scheduling. Cancelling ctx
 // stops further page fetches and surfaces ctx.Err().
 func (s *Schema) EvalContext(ctx context.Context, q Query, cat algebra.Catalog) (*Result, error) {
+	return s.EvalStream(ctx, q, cat, nil)
+}
+
+// EvalStream is EvalContext with incremental per-object delivery: as
+// each maximal object completes, its finished contribution (new unique
+// tuples, a degradation failure, or a binding skip) is handed to sink in
+// plan order, gated so the stream is byte-identical whatever the worker
+// count. The concatenation of delivered tuples equals Result.Relation's
+// tuple sequence. Queries with ORDER BY or LIMIT cannot stream
+// incrementally — the answer is not final until every object has
+// reported — so they emit a single terminal Buffered delivery instead.
+// A nil sink degenerates to EvalContext.
+func (s *Schema) EvalStream(ctx context.Context, q Query, cat algebra.Catalog, sink ObjectSink) (*Result, error) {
 	plan, err := s.Plan(q)
 	if err != nil {
 		return nil, err
+	}
+	buffered := len(q.OrderBy) > 0 || q.Limit > 0
+	var gate *streamGate
+	if sink != nil && !buffered {
+		gate = newStreamGate(sink, plan.Objects, strictFrom(ctx))
 	}
 	res := &Result{Plan: plan}
 	rels := make([]*relation.Relation, len(plan.Objects))
@@ -418,6 +436,7 @@ func (s *Schema) EvalContext(ctx context.Context, q Query, cat algebra.Catalog) 
 			}
 			sps[i].EndErr(err)
 		}
+		gate.complete(i, rel, err)
 		return err
 	})
 	var firstOutage error
@@ -485,6 +504,9 @@ func (s *Schema) EvalContext(ctx context.Context, q Query, cat algebra.Catalog) 
 	}
 	if q.Limit > 0 {
 		res.Relation = res.Relation.Limit(q.Limit)
+	}
+	if sink != nil && buffered {
+		sink(ObjectDelivery{Index: -1, Buffered: true, Tuples: res.Relation.Tuples()})
 	}
 	return res, nil
 }

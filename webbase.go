@@ -84,6 +84,12 @@ type (
 	// site.
 	SiteFailure = ur.SiteFailure
 
+	// ObjectDelivery is one maximal object's finished contribution to a
+	// streaming answer (System.QueryStream).
+	ObjectDelivery = ur.ObjectDelivery
+	// ObjectSink receives streaming deliveries in plan order.
+	ObjectSink = ur.ObjectSink
+
 	// Fetcher retrieves Web pages; implement it to point the webbase at
 	// your own Web.
 	Fetcher = web.Fetcher

@@ -13,6 +13,7 @@
 //	webbase -failevery 3 -strict    "SELECT ..."       # ... or fail fast instead
 //	webbase -breaker-threshold 0.5 -allow-stale "SELECT ..."   # breaker + stale-on-error
 //	webbase -max-inflight 8 -queue-depth 8 -deadline 500ms -hedge-after 50ms "SELECT ..."   # overload protection
+//	webbase -prune -stats    "SELECT ... LIMIT 3"      # skip fetches that cannot contribute answers
 //
 // The query language is the structured universal relation interface of
 // Section 6: name output attributes, constrain others; the system figures
@@ -60,6 +61,7 @@ func main() {
 		driftThr    = flag.Int("drift-threshold", 0, "drift reports that confirm a site redesign and quarantine the site (0 = default 2)")
 		maxRepairs  = flag.Int("max-repair-attempts", 0, "background remap attempts per quarantined site (0 = default 3)")
 		repairWait  = flag.Duration("repair-backoff", 0, "wait before the second remap attempt, doubling per attempt (0 = default 100ms)")
+		pruneOn     = flag.Bool("prune", false, "skip page fetches that cannot contribute answer tuples (access-relevance pruning)")
 	)
 	flag.Parse()
 
@@ -83,6 +85,7 @@ func main() {
 	cfg.DriftThreshold = *driftThr
 	cfg.MaxRepairAttempts = *maxRepairs
 	cfg.RepairBackoff = *repairWait
+	cfg.Prune = *pruneOn
 	switch *queryClass {
 	case "interactive":
 		cfg.QueryClass = webbase.ClassInteractive

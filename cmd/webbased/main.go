@@ -102,6 +102,7 @@ func main() {
 		cacheMaxAge = flag.Duration("cache-maxage", 0, "cached pages older than this no longer count as fresh (0 = never expire)")
 		driftThr    = flag.Int("drift-threshold", 0, "drift reports that confirm a site redesign (0 = default 2)")
 		maxBody     = flag.Int64("max-body", 0, "request body size bound in bytes (0 = default 1MiB)")
+		pruneOn     = flag.Bool("prune", false, "skip page fetches that cannot contribute answer tuples (access-relevance pruning)")
 	)
 	flag.Var(&tenants, "tenant", "tenant spec name:key[:class[:quota[:window]]]; repeatable. Empty = open server")
 	flag.Parse()
@@ -118,6 +119,7 @@ func main() {
 		AllowStale:     *allowStale,
 		CacheMaxAge:    *cacheMaxAge,
 		DriftThreshold: *driftThr,
+		Prune:          *pruneOn,
 	}
 	if *withLatency {
 		cfg.Latency = webbase.DefaultLatency

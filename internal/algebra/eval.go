@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 
+	"webbase/internal/prune"
 	"webbase/internal/relation"
 	"webbase/internal/trace"
 	"webbase/internal/web"
@@ -384,6 +385,36 @@ func dependentJoin(ctx context.Context, acc *relation.Relation, next Expr, nextS
 	}
 	tuples := combos.Tuples()
 	parts := make([]*relation.Relation, len(tuples))
+	// Runtime access relevance, dependent-join form: a feed tuple whose
+	// bound attributes already violate the query's WHERE clause cannot
+	// extend to an answer tuple — every row it produces dies in a
+	// selection above this join. A combination all of whose source tuples
+	// are doomed is never invoked (its pre-created span records the
+	// decision instead); combinations with at least one live source tuple
+	// still invoke, and any doomed rows they produce are filtered by the
+	// selections exactly as without pruning, so the join output is
+	// byte-identical. Leaf populates post-filter their results onto the
+	// fed inputs, so a part tuple always carries its combination's values.
+	var prunedCombo []bool
+	if st := prune.FromContext(ctx); st != nil && len(tuples) > 0 {
+		accSch := acc.Schema()
+		live := acc.Select(func(t relation.Tuple) bool { return !st.IrrelevantTuple(accSch, t) })
+		if live.Len() != acc.Len() {
+			liveCombos, err := live.Project(shared...)
+			if err != nil {
+				return nil, err
+			}
+			liveKeys := make(map[string]struct{}, liveCombos.Len())
+			for _, t := range liveCombos.Tuples() {
+				liveKeys[t.Key()] = struct{}{}
+			}
+			prunedCombo = make([]bool, len(tuples))
+			for i, t := range tuples {
+				_, ok := liveKeys[t.Key()]
+				prunedCombo[i] = !ok
+			}
+		}
+	}
 	// One invoke span per combination, pre-created in combination order
 	// (tuple order is deterministic, so span order is too). All combinations
 	// share one name; the rendered plan aggregates them into invocations=N.
@@ -400,6 +431,17 @@ func dependentJoin(ctx context.Context, acc *relation.Relation, next Expr, nextS
 		ictx := ctx
 		if sp != nil {
 			ictx = trace.ContextWith(ctx, sp)
+		}
+		// Relevance pruning precedes the budget check: an irrelevant
+		// invocation is free, so it must not consume a budget verdict (a
+		// pruned-then-doomed invocation would otherwise surface as a
+		// budget degradation the unpruned run never saw for free work).
+		if prunedCombo != nil && prunedCombo[i] {
+			prune.FromContext(ctx).Count(prune.ReasonUnsatWhere)
+			sp.Set("pruned", 1)
+			sp.Label("pruned-reason", prune.ReasonUnsatWhere)
+			sp.End()
+			return nil // every source tuple of this combination is doomed
 		}
 		// Deadline budget: an invocation is the unit of new work at this
 		// layer; refuse to start one once the owning object's budget is

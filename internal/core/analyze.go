@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"webbase/internal/trace"
@@ -50,6 +51,24 @@ func (wb *Webbase) ExplainAnalyzeContext(ctx context.Context, q ur.Query) (strin
 
 	sb.WriteString("\n=== totals (volatile) ===\n")
 	fmt.Fprintf(&sb, "%s\n", qs)
+	// Relevance-pruning footer: how many access attempts the query never
+	// made, by decision rule. The unsat-where counts are deterministic at
+	// a fixed worker count; the limit counts depend on completion order
+	// (like cache hits), which is why the line lives in the volatile
+	// section. The pruned=1 spans above carry the per-access detail.
+	if qs.PrunedFetches > 0 {
+		reasons := make([]string, 0, len(qs.PrunedByReason))
+		for r := range qs.PrunedByReason {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		parts := make([]string, len(reasons))
+		for i, r := range reasons {
+			parts[i] = fmt.Sprintf("%s=%d", r, qs.PrunedByReason[r])
+		}
+		fmt.Fprintf(&sb, "pruned: %d access(es) skipped by relevance pruning (%s)\n",
+			qs.PrunedFetches, strings.Join(parts, " "))
+	}
 	// The degradation report joins the volatile footer: which hosts are
 	// down is a runtime fact, not part of the plan's structure.
 	if res.Degradation != nil {

@@ -22,6 +22,7 @@ import (
 	"webbase/internal/logical"
 	"webbase/internal/mapbuilder"
 	"webbase/internal/navmap"
+	"webbase/internal/prune"
 	"webbase/internal/relation"
 	"webbase/internal/trace"
 	"webbase/internal/ur"
@@ -133,6 +134,15 @@ type Config struct {
 	// RepairBackoff spaces repair attempts exponentially. <= 0 means
 	// 100ms.
 	RepairBackoff time.Duration
+	// Prune enables runtime access-relevance pruning (Benedikt, Gottlob &
+	// Senellart): handle invocations whose bound inputs already violate
+	// the query's WHERE clause are skipped before any page is fetched,
+	// dependent-join feeds whose upstream bindings are doomed are never
+	// invoked, and — for LIMIT queries where truncation is
+	// order-oblivious — maximal objects stop launching once the limit is
+	// satisfied. The answer is always byte-identical to the unpruned one;
+	// only the fetch count changes. Off by default.
+	Prune bool
 }
 
 // Webbase is an assembled three-layer webbase.
@@ -151,6 +161,7 @@ type Webbase struct {
 	retryBudget int64
 	hedgeBudget int64
 	strict      bool
+	prune       bool
 	admission   *admission
 	deadline    time.Duration
 	class       QueryClass
@@ -210,7 +221,7 @@ func NewDomain(cfg Config, d Domain) (*Webbase, error) {
 	wb := &Webbase{stats: &web.Stats{}, workers: cfg.Workers,
 		clock: cfg.Clock, metrics: trace.NewRegistry(),
 		retryBudget: cfg.RetryBudget, hedgeBudget: cfg.HedgeBudget,
-		strict: cfg.Strict, class: cfg.QueryClass,
+		strict: cfg.Strict, prune: cfg.Prune, class: cfg.QueryClass,
 		sampleInputs: d.SampleInputs}
 	if wb.workers <= 0 {
 		wb.workers = runtime.GOMAXPROCS(0)
@@ -459,12 +470,20 @@ type QueryStats struct {
 	// (sites answering, but no longer matching their navigation maps) —
 	// the observations that feed the self-healing tracker.
 	DriftDetected int
+	// PrunedFetches counts access attempts skipped by runtime relevance
+	// pruning during this query — handle invocations, dependent-join
+	// feeds and whole maximal objects that provably could not contribute
+	// answer tuples. PrunedByReason breaks the count down by decision
+	// rule (prune.ReasonUnsatWhere, prune.ReasonLimit). Zero/nil unless
+	// Config.Prune is on.
+	PrunedFetches  int64
+	PrunedByReason map[string]int64
 }
 
 // String renders the stats line the experiment harness prints.
 func (qs *QueryStats) String() string {
-	return fmt.Sprintf("pages=%d bytes=%d elapsed=%v simulated-net=%v cache-hits=%d deduped=%d retries=%d stale=%d breaker-rejects=%d degraded-objects=%d peak-inflight=%d limiter-wait=%v admission-wait=%v hedges=%d hedge-wins=%d hedges-suppressed=%d bulkhead-shed=%d budget-shed=%d drift-detected=%d",
-		qs.Pages, qs.Bytes, qs.Elapsed, qs.Simulated, qs.CacheHits, qs.Deduped, qs.Retries, qs.StaleServed, qs.BreakerRejects, qs.DegradedObjects, qs.PeakInFlight, qs.LimiterWait, qs.AdmissionWait, qs.Hedges, qs.HedgeWins, qs.HedgesSuppressed, qs.BulkheadSheds, qs.BudgetSheds, qs.DriftDetected)
+	return fmt.Sprintf("pages=%d bytes=%d elapsed=%v simulated-net=%v cache-hits=%d deduped=%d retries=%d stale=%d breaker-rejects=%d degraded-objects=%d peak-inflight=%d limiter-wait=%v admission-wait=%v hedges=%d hedge-wins=%d hedges-suppressed=%d bulkhead-shed=%d budget-shed=%d drift-detected=%d pruned=%d",
+		qs.Pages, qs.Bytes, qs.Elapsed, qs.Simulated, qs.CacheHits, qs.Deduped, qs.Retries, qs.StaleServed, qs.BreakerRejects, qs.DegradedObjects, qs.PeakInFlight, qs.LimiterWait, qs.AdmissionWait, qs.Hedges, qs.HedgeWins, qs.HedgesSuppressed, qs.BulkheadSheds, qs.BudgetSheds, qs.DriftDetected, qs.PrunedFetches)
 }
 
 // Query evaluates a universal relation query end to end. Evaluation runs
@@ -591,6 +610,16 @@ func (wb *Webbase) runAdmitted(ctx context.Context, q ur.Query, admissionWait ti
 	// here, so a health transition mid-query cannot change which sites a
 	// running query consults (outcomes stay schedule-independent).
 	ctx = vps.ContextWithQuarantine(ctx, wb.health.Quarantined())
+	// Access-relevance pruning: compile the query's WHERE clause once;
+	// every layer below consults the state through the context (vps skips
+	// irrelevant handle invocations pre-fetch, algebra skips doomed
+	// dependent-join feeds, ur stops launching objects once LIMIT is
+	// satisfied).
+	var pst *prune.State
+	if wb.prune {
+		pst = ur.NewPruneState(q)
+		ctx = prune.ContextWith(ctx, pst)
+	}
 	res, err := wb.UR.EvalStream(ctx, q, wb.Logical, sink)
 	if err != nil {
 		wb.metrics.Counter("queries_failed_total").Add(1)
@@ -598,6 +627,10 @@ func (wb *Webbase) runAdmitted(ctx context.Context, q ur.Query, admissionWait ti
 	}
 	qs := wb.delta(before, wb.now().Sub(start))
 	qs.AdmissionWait = admissionWait
+	if pst != nil {
+		qs.PrunedFetches = pst.Total()
+		qs.PrunedByReason = pst.Counts()
+	}
 	// Degradation is reported whenever the answer differs from (or was
 	// rescued relative to) the fully-healthy one: objects lost to
 	// outages, or pages served stale.
@@ -639,6 +672,14 @@ func (wb *Webbase) observe(qs *QueryStats) {
 	m.Counter("budget_shed_total").Add(qs.BudgetSheds)
 	m.Counter("hedges_suppressed_total").Add(qs.HedgesSuppressed)
 	m.Counter("site_drift_detected_total").Add(int64(qs.DriftDetected))
+	if wb.prune {
+		// Registered only on pruning-enabled webbases, so a pruning-off
+		// /metrics page is byte-identical to the historical one.
+		m.Counter("fetches_pruned_total").Add(qs.PrunedFetches)
+		for r, n := range qs.PrunedByReason {
+			m.Counter(`fetches_pruned_total{reason="` + r + `"}`).Add(n)
+		}
+	}
 	if qs.DegradedObjects > 0 {
 		m.Counter("queries_degraded_total").Add(1)
 		m.Counter("objects_unavailable_total").Add(int64(qs.DegradedObjects))

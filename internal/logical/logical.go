@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"webbase/internal/algebra"
+	"webbase/internal/prune"
 	"webbase/internal/relation"
 	"webbase/internal/vps"
 	"webbase/internal/web"
@@ -163,6 +164,17 @@ func (c *Catalog) PopulateContext(ctx context.Context, name string, inputs map[s
 	v, ok := c.views[name]
 	if !ok {
 		return nil, fmt.Errorf("logical: unknown relation %q", name)
+	}
+	// Scope the access-relevance state to the view's output schema before
+	// descending: an attribute the view consumes internally but does not
+	// export is not the query's attribute of the same name (its column
+	// never reaches the selections above), so conditions on it must not
+	// prune inside the view. Conditions on exported attributes remain
+	// checkable at full strength — their values flow to the output.
+	if st := prune.FromContext(ctx); st != nil {
+		if r := st.Restrict(c.schemas[name]); r != st {
+			ctx = prune.ContextWith(ctx, r)
+		}
 	}
 	rel, err := algebra.EvalContext(ctx, v.Def, c.base, inputs)
 	if err != nil {

@@ -40,6 +40,16 @@ func FuzzQueryEndpoint(f *testing.F) {
 	f.Add("")
 	f.Add("SELECT Make WHERE Price < ")
 	f.Add(`{"query": 42}`)
+	// Pruning-relevant and newly-rejected query shapes: LIMIT, ORDER BY,
+	// constant selections, unsatisfiable clauses, trailing commas and
+	// duplicate sort keys (the latter two must 400 as bad-query).
+	f.Add("SELECT Make, Model, Price WHERE Make = 'ford' LIMIT 1")
+	f.Add("SELECT Make, Model WHERE Make = 'jaguar' AND Make = 'ford'")
+	f.Add("SELECT Make, Year WHERE Year >= 1995 AND Year <= 1992 LIMIT 3")
+	f.Add("SELECT Make, Model WHERE Make = 'jaguar' ORDER BY Make LIMIT 2")
+	f.Add("SELECT Make ORDER BY Price DESC, Make ASC LIMIT 5")
+	f.Add("SELECT Make ORDER BY Make,")
+	f.Add("SELECT Make ORDER BY Price, Price")
 
 	f.Fuzz(func(t *testing.T, body string) {
 		req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(body))

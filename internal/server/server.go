@@ -247,6 +247,7 @@ func (s *Server) errorBody(rid string, err error) errorBody {
 	case errors.Is(err, errBodyTooLarge):
 		status, code = http.StatusRequestEntityTooLarge, "body-too-large"
 	case errors.As(err, &pe),
+		errors.Is(err, ur.ErrBadQuery),
 		errors.Is(err, ur.ErrUnknownAttribute),
 		errors.Is(err, ur.ErrNotCoverable):
 		status, code = http.StatusBadRequest, "bad-query"

@@ -45,6 +45,21 @@ func FuzzParseQuery(f *testing.F) {
 		"select make, model where make = \"ford\" order by year desc, price limit 2",
 		"SELECT Make WHERE Make = 'a' AND AND Year = 1",
 		"SELECT Make WHERE androids and and",
+		// Pruning-relevant shapes: constant selections (satisfiable and
+		// statically unsatisfiable), LIMIT 0/1/n, discharged and
+		// undischarged ORDER BY keys.
+		"SELECT Make, Model WHERE Make = 'jaguar' AND Make = 'ford'",
+		"SELECT Make, Year WHERE Year >= 1995 AND Year <= 1992",
+		"SELECT Make, Model, Price WHERE Make = 'ford' LIMIT 0",
+		"SELECT Make, Model, Price WHERE Make = 'ford' LIMIT 1",
+		"SELECT Make, Model, Price WHERE Make = 'ford' LIMIT 3",
+		"SELECT Make, Model, Price WHERE Make = 'jaguar' ORDER BY Make LIMIT 2",
+		"SELECT Make, Model, Price WHERE Make = 'ford' ORDER BY Price DESC LIMIT 2",
+		// Rejected ORDER BY shapes: trailing comma, duplicate sort key.
+		"SELECT Make ORDER BY Make,",
+		"SELECT Make ORDER BY Make, , Price",
+		"SELECT Make ORDER BY Price, Price",
+		"SELECT Make ORDER BY Price DESC, Price ASC",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -68,10 +83,15 @@ func FuzzParseQuery(f *testing.F) {
 				t.Fatalf("parse of %q produced a condition without an attribute", text)
 			}
 		}
+		sortKeys := make(map[string]bool)
 		for _, k := range q.OrderBy {
 			if k.Attr == "" {
 				t.Fatalf("parse of %q produced an ORDER BY key without an attribute", text)
 			}
+			if sortKeys[k.Attr] {
+				t.Fatalf("parse of %q produced duplicate ORDER BY key %q", text, k.Attr)
+			}
+			sortKeys[k.Attr] = true
 		}
 		if q.Limit < 0 {
 			t.Fatalf("parse of %q produced negative LIMIT %d", text, q.Limit)

@@ -1,6 +1,7 @@
 package ur
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -8,6 +9,16 @@ import (
 	"webbase/internal/algebra"
 	"webbase/internal/relation"
 )
+
+// ErrBadQuery is the taxonomy sentinel for malformed query text. Every
+// syntax error ParseQuery reports wraps it, so callers (and the HTTP
+// server's 400 mapping) can classify with errors.Is instead of matching
+// message strings.
+var ErrBadQuery = errors.New("ur: bad query")
+
+func badQueryf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadQuery, fmt.Sprintf(format, args...))
+}
 
 // ParseQuery parses the ad hoc query syntax the CLI exposes to end users:
 //
@@ -25,7 +36,7 @@ func ParseQuery(s *Schema, text string) (Query, error) {
 	var q Query
 	rest := strings.TrimSpace(text)
 	if len(rest) < 6 || !strings.EqualFold(rest[:6], "select") {
-		return q, fmt.Errorf("ur: query must start with SELECT: %q", text)
+		return q, badQueryf("query must start with SELECT: %q", text)
 	}
 	rest = rest[6:]
 
@@ -33,13 +44,20 @@ func ParseQuery(s *Schema, text string) (Query, error) {
 	if i := indexFold(rest, "limit"); i >= 0 {
 		n, err := strconv.Atoi(strings.TrimSpace(rest[i+5:]))
 		if err != nil || n < 0 {
-			return q, fmt.Errorf("ur: bad LIMIT in %q", text)
+			return q, badQueryf("bad LIMIT in %q", text)
 		}
 		q.Limit = n
 		rest = rest[:i]
 	}
 	if i := indexFold(rest, "order by"); i >= 0 {
+		seen := make(map[string]bool)
 		for _, part := range strings.Split(rest[i+8:], ",") {
+			if strings.TrimSpace(part) == "" {
+				// A trailing comma (or ", ,") yields an empty term.
+				// Rejecting it loudly beats silently sorting on fewer
+				// keys than the user wrote.
+				return q, badQueryf("empty ORDER BY term (trailing comma?) in %q", text)
+			}
 			fields := strings.Fields(part)
 			switch {
 			case len(fields) == 1:
@@ -49,11 +67,18 @@ func ParseQuery(s *Schema, text string) (Query, error) {
 			case len(fields) == 2 && strings.EqualFold(fields[1], "asc"):
 				q.OrderBy = append(q.OrderBy, relation.SortKey{Attr: fields[0]})
 			default:
-				return q, fmt.Errorf("ur: bad ORDER BY term %q", strings.TrimSpace(part))
+				return q, badQueryf("bad ORDER BY term %q", strings.TrimSpace(part))
 			}
+			key := q.OrderBy[len(q.OrderBy)-1].Attr
+			if seen[key] {
+				// A duplicate key is always a typo: the second
+				// occurrence can never influence the stable sort.
+				return q, badQueryf("duplicate ORDER BY key %q in %q", key, text)
+			}
+			seen[key] = true
 		}
 		if len(q.OrderBy) == 0 {
-			return q, fmt.Errorf("ur: empty ORDER BY in %q", text)
+			return q, badQueryf("empty ORDER BY in %q", text)
 		}
 		rest = rest[:i]
 	}
@@ -71,7 +96,7 @@ func ParseQuery(s *Schema, text string) (Query, error) {
 		q.Output = append(q.Output, a)
 	}
 	if len(q.Output) == 0 {
-		return q, fmt.Errorf("ur: no output attributes in %q", text)
+		return q, badQueryf("no output attributes in %q", text)
 	}
 	if wherePart == "" {
 		return q, nil
@@ -108,7 +133,7 @@ func parseCondition(clause string, attrs map[string]bool) (algebra.Condition, er
 		lhs := strings.TrimSpace(clause[:i])
 		rhs := strings.TrimSpace(clause[i+len(o.text):])
 		if lhs == "" || rhs == "" {
-			return algebra.Condition{}, fmt.Errorf("ur: malformed condition %q", clause)
+			return algebra.Condition{}, badQueryf("malformed condition %q", clause)
 		}
 		cond := algebra.Condition{Attr: lhs, Op: o.op}
 		if unq, quoted := unquote(rhs); quoted {
@@ -120,7 +145,7 @@ func parseCondition(clause string, attrs map[string]bool) (algebra.Condition, er
 		}
 		return cond, nil
 	}
-	return algebra.Condition{}, fmt.Errorf("ur: no comparison operator in condition %q", clause)
+	return algebra.Condition{}, badQueryf("no comparison operator in condition %q", clause)
 }
 
 func unquote(s string) (string, bool) {

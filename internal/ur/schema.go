@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"webbase/internal/algebra"
+	"webbase/internal/prune"
 	"webbase/internal/relation"
 	"webbase/internal/trace"
 	"webbase/internal/web"
@@ -388,6 +389,14 @@ func (s *Schema) EvalStream(ctx context.Context, q Query, cat algebra.Catalog, s
 	if sink != nil && !buffered {
 		gate = newStreamGate(sink, plan.Objects, strictFrom(ctx))
 	}
+	// Access-relevance pruning (when the context carries a state): the
+	// cardinality early-exit tracks finished objects in plan order and,
+	// once the completed prefix holds ≥ LIMIT distinct tuples, skips every
+	// object not yet started. It only arms on queries where truncation is
+	// order-oblivious (see NewPruneState) — all of which are buffered, so
+	// the stream gate never sees a rule-3 decision.
+	pst := prune.FromContext(ctx)
+	pst.BeginObjects(len(plan.Objects))
 	res := &Result{Plan: plan}
 	rels := make([]*relation.Relation, len(plan.Objects))
 	// One span per maximal object, pre-created in plan order before any
@@ -404,6 +413,26 @@ func (s *Schema) EvalStream(ctx context.Context, q Query, cat algebra.Catalog, s
 	// Every object evaluates even when a sibling fails: binding-failure
 	// errors must not abort the other objects' partial answers.
 	errs := algebra.ForEach(ctx, len(plan.Objects), false, func(i int) error {
+		if pst.LimitArmed() && pst.LimitSatisfied() {
+			// Earlier objects already satisfy LIMIT n: the answer is the
+			// plan-order union truncated to n, so nothing this object could
+			// return survives. Contribute ∅ without evaluating (or fetching)
+			// anything. Which objects are skipped depends on completion
+			// order — like cache hits, the saving is schedule-dependent —
+			// but the contribution is provably empty either way, so the
+			// answer stays byte-identical.
+			rels[i] = relation.New("", relation.Schema(q.Output))
+			pst.Count(prune.ReasonLimit)
+			pst.ObjectDone(i, nil)
+			if sps != nil {
+				sps[i].Set("pruned", 1)
+				sps[i].Label("pruned-reason", prune.ReasonLimit)
+				sps[i].Set("tuples", 0)
+				sps[i].End()
+			}
+			gate.complete(i, rels[i], nil)
+			return nil
+		}
 		octx := ctx
 		if sps != nil {
 			octx = trace.ContextWith(ctx, sps[i])
@@ -421,6 +450,19 @@ func (s *Schema) EvalStream(ctx context.Context, q Query, cat algebra.Catalog, s
 		// and evaluated by standard query evaluation techniques."
 		rel, err := algebra.EvalContext(octx, algebra.Optimize(plan.Objects[i].Expr, cat), cat, nil)
 		rels[i] = rel
+		if pst.LimitArmed() {
+			// Feed the cardinality tracker this object's distinct-tuple
+			// keys (nil for a failed object: it contributes nothing, but
+			// the plan-order prefix must still advance past it).
+			var keys []string
+			if err == nil && rel != nil {
+				keys = make([]string, rel.Len())
+				for k, t := range rel.Tuples() {
+					keys[k] = t.Key()
+				}
+			}
+			pst.ObjectDone(i, keys)
+		}
 		if sps != nil {
 			if rel != nil {
 				sps[i].Set("tuples", int64(rel.Len()))

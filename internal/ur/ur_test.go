@@ -387,6 +387,48 @@ func TestParseQueryOrderByLimit(t *testing.T) {
 	}
 }
 
+// Malformed ORDER BY shapes must be rejected loudly, not silently
+// repaired: a trailing comma would sort on fewer keys than written, and a
+// duplicate key is a typo the stable sort would mask forever. Every parse
+// error classifies as ErrBadQuery.
+func TestParseQueryBadOrderBy(t *testing.T) {
+	s, _ := memLogical()
+	cases := []struct {
+		name, query, wantMsg string
+	}{
+		{"trailing-comma", "SELECT Make ORDER BY Make,", "trailing comma"},
+		{"double-comma", "SELECT Make ORDER BY Make, , Price", "trailing comma"},
+		{"duplicate-key", "SELECT Make ORDER BY Price, Price", "duplicate ORDER BY key"},
+		{"duplicate-key-desc", "SELECT Make ORDER BY Price DESC, Make, Price", "duplicate ORDER BY key"},
+		{"duplicate-key-asc", "SELECT Make ORDER BY Price ASC, Price DESC", "duplicate ORDER BY key"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseQuery(s, tc.query)
+			if err == nil {
+				t.Fatalf("accepted %q", tc.query)
+			}
+			if !errors.Is(err, ErrBadQuery) {
+				t.Errorf("error %v does not wrap ErrBadQuery", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("error %q does not mention %q", err, tc.wantMsg)
+			}
+		})
+	}
+	// Distinct keys with mixed directions still parse.
+	q, err := ParseQuery(s, "SELECT Make ORDER BY Price DESC, Make ASC")
+	if err != nil || len(q.OrderBy) != 2 {
+		t.Errorf("distinct keys rejected: %v %v", q.OrderBy, err)
+	}
+	// The whole parse-error taxonomy classifies as ErrBadQuery.
+	for _, bad := range []string{"", "SELECT", "SELECT a LIMIT x", "SELECT a WHERE junk"} {
+		if _, err := ParseQuery(s, bad); !errors.Is(err, ErrBadQuery) {
+			t.Errorf("%q: error %v does not wrap ErrBadQuery", bad, err)
+		}
+	}
+}
+
 func TestQueryStringAndAttrs(t *testing.T) {
 	q := Query{
 		Output: []string{"Make", "Price"},

@@ -24,6 +24,7 @@ import (
 
 	"webbase/internal/navcalc"
 	"webbase/internal/navmap"
+	"webbase/internal/prune"
 	"webbase/internal/relation"
 	"webbase/internal/trace"
 	"webbase/internal/web"
@@ -244,6 +245,21 @@ func (r *Registry) PopulateContext(ctx context.Context, f web.Fetcher, name stri
 	if ov := ri.override.Load(); ov != nil {
 		expr = ov.Expr
 		sp.Set("map-version", int64(ov.Version))
+	}
+	// Runtime access relevance (Benedikt, Gottlob & Senellart): when the
+	// inputs this invocation would forward already violate the query's
+	// WHERE clause — or the clause is statically unsatisfiable — every
+	// tuple the site could return dies in a selection above, so the whole
+	// navigation is skipped pre-fetch and answers ∅. The check runs before
+	// the quarantine short-circuit on purpose: an irrelevant access is
+	// skipped whether or not its host is healthy, so a pruned invocation
+	// never contributes a degradation verdict ("pruned before failure").
+	if st := prune.FromContext(ctx); st.IrrelevantInputs(inputs) {
+		st.Count(prune.ReasonUnsatWhere)
+		sp.Set("pruned", 1)
+		sp.Label("pruned-reason", prune.ReasonUnsatWhere)
+		sp.End()
+		return relation.New(expr.Name, expr.Schema), nil, nil
 	}
 	strInputs := make(map[string]string, len(inputs))
 	for a, v := range inputs {

@@ -41,6 +41,7 @@ package webbase
 import (
 	"webbase/internal/apartments"
 	"webbase/internal/core"
+	"webbase/internal/prune"
 	"webbase/internal/relation"
 	"webbase/internal/sites"
 	"webbase/internal/trace"
@@ -146,6 +147,11 @@ func ParseQuery(sys *System, text string) (Query, error) {
 	return ur.ParseQuery(sys.UR, text)
 }
 
+// ErrBadQuery classifies malformed query text from ParseQuery: every
+// syntax error wraps it (errors.Is), including rejected ORDER BY shapes
+// such as trailing commas and duplicate sort keys.
+var ErrBadQuery = ur.ErrBadQuery
+
 // Error taxonomy helpers (see internal/web's taxonomy): classify a
 // query or fetch failure with errors.Is semantics.
 var (
@@ -192,6 +198,20 @@ var (
 	// ErrBudgetExhausted is the cause recorded when a deadline budget
 	// (Config.Deadline) refuses to start more work.
 	ErrBudgetExhausted = web.ErrBudgetExhausted
+)
+
+// Access-relevance pruning reasons (Config.Prune). They key
+// QueryStats.PrunedByReason and label the fetches_pruned_total metric,
+// and appear as pruned-reason attributes on pruned=1 spans in traces and
+// EXPLAIN ANALYZE output.
+const (
+	// PruneUnsatWhere: the access's already-bound attributes violate the
+	// query's WHERE clause, so it cannot contribute an answer tuple; the
+	// fetch was skipped before any page was requested.
+	PruneUnsatWhere = prune.ReasonUnsatWhere
+	// PruneLimit: the query's LIMIT was already satisfied by maximal
+	// objects earlier in plan order, so the object was never launched.
+	PruneLimit = prune.ReasonLimit
 )
 
 // Value constructors.

@@ -45,16 +45,16 @@ import (
 	"webbase/internal/server"
 )
 
-// tenantFlags collects repeated -tenant name:key[:class[:quota[:window]]]
-// values.
+// tenantFlags collects repeated -tenant
+// name:key[:class[:quota[:window[:maxconc]]]] values.
 type tenantFlags []server.Tenant
 
 func (t *tenantFlags) String() string { return fmt.Sprintf("%d tenant(s)", len(*t)) }
 
 func (t *tenantFlags) Set(v string) error {
 	parts := strings.Split(v, ":")
-	if len(parts) < 2 || len(parts) > 5 {
-		return fmt.Errorf("want name:key[:class[:quota[:window]]], got %q", v)
+	if len(parts) < 2 || len(parts) > 6 {
+		return fmt.Errorf("want name:key[:class[:quota[:window[:maxconc]]]], got %q", v)
 	}
 	tn := server.Tenant{Name: parts[0], Key: parts[1]}
 	if len(parts) > 2 {
@@ -81,6 +81,13 @@ func (t *tenantFlags) Set(v string) error {
 		}
 		tn.Window = w
 	}
+	if len(parts) > 5 && parts[5] != "" {
+		mc, err := strconv.ParseInt(parts[5], 10, 64)
+		if err != nil || mc < 0 {
+			return fmt.Errorf("bad maxconc %q", parts[5])
+		}
+		tn.MaxConcurrent = mc
+	}
 	*t = append(*t, tn)
 	return nil
 }
@@ -103,23 +110,27 @@ func main() {
 		driftThr    = flag.Int("drift-threshold", 0, "drift reports that confirm a site redesign (0 = default 2)")
 		maxBody     = flag.Int64("max-body", 0, "request body size bound in bytes (0 = default 1MiB)")
 		pruneOn     = flag.Bool("prune", false, "skip page fetches that cannot contribute answer tuples (access-relevance pruning)")
+		stateDir    = flag.String("state-dir", "", "durable state directory: persist warmed pages, repaired maps and breaker/health verdicts across restarts (empty = no persistence)")
+		recoveryBkf = flag.Duration("recovery-backoff", 0, "re-probe repair-exhausted quarantined sites in the background, starting at this interval and doubling (0 = off)")
 	)
-	flag.Var(&tenants, "tenant", "tenant spec name:key[:class[:quota[:window]]]; repeatable. Empty = open server")
+	flag.Var(&tenants, "tenant", "tenant spec name:key[:class[:quota[:window[:maxconc]]]]; repeatable. Empty = open server")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "webbased ", log.LstdFlags)
 
 	cfg := webbase.Config{
-		Workers:        *workers,
-		Retries:        *retries,
-		Strict:         *strict,
-		Deadline:       *deadline,
-		MaxInFlight:    *maxInflight,
-		QueueDepth:     *queueDepth,
-		AllowStale:     *allowStale,
-		CacheMaxAge:    *cacheMaxAge,
-		DriftThreshold: *driftThr,
-		Prune:          *pruneOn,
+		Workers:         *workers,
+		Retries:         *retries,
+		Strict:          *strict,
+		Deadline:        *deadline,
+		MaxInFlight:     *maxInflight,
+		QueueDepth:      *queueDepth,
+		AllowStale:      *allowStale,
+		CacheMaxAge:     *cacheMaxAge,
+		DriftThreshold:  *driftThr,
+		Prune:           *pruneOn,
+		StateDir:        *stateDir,
+		RecoveryBackoff: *recoveryBkf,
 	}
 	if *withLatency {
 		cfg.Latency = webbase.DefaultLatency
@@ -162,15 +173,27 @@ func main() {
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Graceful shutdown is two phases in strict order: drain in-flight
+	// streams (Shutdown), then flush dirty durable state (Close) —
+	// flushing first would miss breaker/health transitions and page fills
+	// from the queries still draining. main waits on done so the process
+	// cannot exit between the two.
+	done := make(chan struct{})
 	go func() {
+		defer close(done)
 		<-ctx.Done()
 		logger.Println("shutting down")
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		hs.Shutdown(sctx)
+		sys.Close()
+		if *stateDir != "" {
+			logger.Printf("state flushed to %s", *stateDir)
+		}
 	}()
 	logger.Printf("serving %s domain on %s (tenants: %s)", *domain, *addr, tenants.String())
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Fatal(err)
 	}
+	<-done
 }

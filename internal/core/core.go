@@ -24,6 +24,7 @@ import (
 	"webbase/internal/navmap"
 	"webbase/internal/prune"
 	"webbase/internal/relation"
+	"webbase/internal/store"
 	"webbase/internal/trace"
 	"webbase/internal/ur"
 	"webbase/internal/vps"
@@ -134,6 +135,21 @@ type Config struct {
 	// RepairBackoff spaces repair attempts exponentially. <= 0 means
 	// 100ms.
 	RepairBackoff time.Duration
+	// StateDir, when non-empty, roots the durable state tier: warmed
+	// pages, repaired navigation maps and breaker/health verdicts are
+	// persisted there (crash-safely, fingerprinted) and restored at the
+	// next boot. The store sits strictly below the in-memory stacks as a
+	// second cache tier — never a source of truth — so answers are
+	// byte-identical with it on or off, and a missing or corrupt state
+	// dir degrades to a cold start (counted in store_corrupt_total)
+	// rather than failing assembly or any query. Empty disables
+	// persistence (the historical behavior).
+	StateDir string
+	// RecoveryBackoff, when > 0, gives repair-exhausted quarantined sites
+	// a slow background re-probe with doubling backoff, so a permanently-
+	// quarantined-then-fixed site eventually heals without a restart. 0
+	// keeps exhaustion terminal (the historical behavior).
+	RecoveryBackoff time.Duration
 	// Prune enables runtime access-relevance pruning (Benedikt, Gottlob &
 	// Senellart): handle invocations whose bound inputs already violate
 	// the query's WHERE clause are skipped before any page is fetched,
@@ -174,6 +190,11 @@ type Webbase struct {
 	health        *health.Tracker
 	repairFetcher web.Fetcher
 	sampleInputs  map[string]string
+
+	// Durable state tier (nil without Config.StateDir): the store holds
+	// the state files, pageTier is the disk tier behind the page cache.
+	store    *store.Store
+	pageTier *store.PageTier
 }
 
 // Domain describes how to assemble the three layers of one application
@@ -226,6 +247,19 @@ func NewDomain(cfg Config, d Domain) (*Webbase, error) {
 	if wb.workers <= 0 {
 		wb.workers = runtime.GOMAXPROCS(0)
 	}
+	// Durable state tier: opened first so the stacks below can plug into
+	// it. An unopenable state dir is a cold start with a metric, never an
+	// assembly failure — the store is a cache, and a broken cache may not
+	// take the system down.
+	if cfg.StateDir != "" {
+		st, err := store.Open(cfg.StateDir, store.Options{Metrics: wb.metrics})
+		if err != nil {
+			wb.metrics.Counter("store_corrupt_total").Add(1)
+			wb.metrics.Counter(`store_corrupt_total{tier="open"}`).Add(1)
+		} else {
+			wb.store = st
+		}
+	}
 	hostLimit := cfg.HostLimit
 	if hostLimit == 0 {
 		hostLimit = DefaultHostLimit
@@ -274,7 +308,11 @@ func NewDomain(cfg Config, d Domain) (*Webbase, error) {
 		if bc.Clock == nil {
 			bc.Clock = cfg.Clock
 		}
+		if wb.store != nil {
+			bc.OnChange = func(string, web.BreakerState) { wb.persistBreaker() }
+		}
 		wb.breaker = web.NewBreaker(f, bc, wb.stats)
+		wb.restoreBreaker()
 		f = wb.breaker
 	}
 	f = web.WithOutageMemo(f)
@@ -284,6 +322,10 @@ func NewDomain(cfg Config, d Domain) (*Webbase, error) {
 		wb.cache.MaxAge = cfg.CacheMaxAge
 		wb.cache.AllowStale = cfg.AllowStale
 		wb.cache.Clock = cfg.Clock
+		if wb.store != nil {
+			wb.pageTier = store.NewPageTier(wb.store)
+			wb.cache.Tier = wb.pageTier
+		}
 		f = web.WithCache(f, wb.cache)
 	}
 	if cfg.Deadline > 0 {
@@ -298,6 +340,10 @@ func NewDomain(cfg Config, d Domain) (*Webbase, error) {
 		return nil, err
 	}
 	wb.Registry = reg
+	// A healed fleet survives restarts: persisted repaired maps are
+	// installed as overrides before any query runs, at the version they
+	// were healed at — no re-running mapbuilder.Repair at boot.
+	wb.restoreMaps()
 
 	cat, err := d.Logical(reg, f)
 	if err != nil {
@@ -314,13 +360,22 @@ func NewDomain(cfg Config, d Domain) (*Webbase, error) {
 	// Self-healing: active only when the domain supplies the sample
 	// inputs the repair walk needs to exercise site forms.
 	if d.SampleInputs != nil {
-		wb.health = health.New(health.Config{
-			Threshold:   cfg.DriftThreshold,
-			MaxAttempts: cfg.MaxRepairAttempts,
-			Backoff:     cfg.RepairBackoff,
-			Repair:      wb.repairHost,
-			Metrics:     wb.metrics,
-		})
+		hcfg := health.Config{
+			Threshold:       cfg.DriftThreshold,
+			MaxAttempts:     cfg.MaxRepairAttempts,
+			Backoff:         cfg.RepairBackoff,
+			Repair:          wb.repairHost,
+			Metrics:         wb.metrics,
+			RecoveryBackoff: cfg.RecoveryBackoff,
+		}
+		if wb.store != nil {
+			hcfg.OnChange = func() { wb.persistHealth() }
+		}
+		wb.health = health.New(hcfg)
+		// Restored quarantines resume where they left off: a restarted
+		// process does not re-probe a known-dead host or reset the repair
+		// attempt budget.
+		wb.restoreHealth()
 	}
 	return wb, nil
 }
@@ -376,9 +431,11 @@ func (wb *Webbase) repairHost(host string) error {
 			return fmt.Errorf("core: repairing %s: verifying %s: repaired map returns no tuples for the sample inputs", host, ri.Name)
 		}
 		if len(drifts) > 0 {
-			if _, err := wb.Registry.SwapMap(ri.Name, next); err != nil {
+			version, err := wb.Registry.SwapMap(ri.Name, next)
+			if err != nil {
 				return fmt.Errorf("core: repairing %s: %w", host, err)
 			}
+			wb.persistMap(ri.Name, version, next)
 			repaired++
 		}
 	}

@@ -1,0 +1,157 @@
+package core
+
+// The webbase side of the durable state tier: persist-on-transition hooks
+// and boot-time restores for the three durable tiers (pages are handled
+// inline by store.PageTier behind web.Cache; this file owns maps, breaker
+// and health). Every restore path tolerates missing or corrupt state by
+// falling back cold — a broken state dir may never fail assembly or a
+// query — and payload-level decode failures are counted through
+// Store.CountCorrupt so they land in the same store_corrupt_total{tier=...}
+// metric as file-level ones.
+
+import (
+	"encoding/json"
+
+	"webbase/internal/health"
+	"webbase/internal/navmap"
+	"webbase/internal/web"
+)
+
+// Store tier names.
+const (
+	tierMaps    = "maps"
+	tierBreaker = "breaker"
+	tierHealth  = "health"
+)
+
+// Single-record keys for the snapshot tiers.
+const (
+	breakerKey = "circuits"
+	healthKey  = "sites"
+)
+
+// persistMap writes a freshly repaired, already-swapped map. The record's
+// generation field carries the map version, so a restore re-installs the
+// override at the version it was healed at.
+func (wb *Webbase) persistMap(name string, version int, m *navmap.Map) {
+	if wb.store == nil {
+		return
+	}
+	data, err := navmap.EncodeMap(m)
+	if err != nil {
+		return
+	}
+	wb.store.Put(tierMaps, name, uint64(version), data)
+}
+
+// restoreMaps installs every persisted repaired map as a registry
+// override at boot. A map that fails decoding, validation or the schema
+// check changes nothing and counts as corruption — the relation simply
+// serves from its base map until the next repair.
+func (wb *Webbase) restoreMaps() {
+	if wb.store == nil {
+		return
+	}
+	wb.store.Scan(tierMaps, func(key string, gen uint64, payload []byte) {
+		m, err := navmap.DecodeMap(payload)
+		if err != nil {
+			wb.store.CountCorrupt(tierMaps)
+			return
+		}
+		if err := wb.Registry.RestoreMap(key, m, int(gen)); err != nil {
+			wb.store.CountCorrupt(tierMaps)
+		}
+	})
+}
+
+// persistBreaker snapshots the open circuits. Called from the breaker's
+// OnChange hook (outside its locks) on every trip and close, so the
+// durable view tracks transitions, not a shutdown-only flush.
+func (wb *Webbase) persistBreaker() {
+	if wb.store == nil || wb.breaker == nil {
+		return
+	}
+	data, err := json.Marshal(wb.breaker.Snapshot())
+	if err != nil {
+		return
+	}
+	wb.store.Put(tierBreaker, breakerKey, 0, data)
+}
+
+// restoreBreaker pre-populates open circuits at boot: a restarted process
+// fast-fails a known-dead host immediately instead of re-earning the
+// verdict through a fresh failure window.
+func (wb *Webbase) restoreBreaker() {
+	if wb.store == nil || wb.breaker == nil {
+		return
+	}
+	payload, _, err := wb.store.Get(tierBreaker, breakerKey)
+	if err != nil {
+		return // missing = cold; corrupt was already counted by Get
+	}
+	var snap map[string]web.BreakerSnapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		wb.store.CountCorrupt(tierBreaker)
+		return
+	}
+	wb.breaker.Restore(snap)
+}
+
+// persistHealth snapshots site health. Called from the tracker's OnChange
+// hook (outside its lock) on every transition.
+func (wb *Webbase) persistHealth() {
+	if wb.store == nil || wb.health == nil {
+		return
+	}
+	data, err := json.Marshal(wb.health.Snapshot())
+	if err != nil {
+		return
+	}
+	wb.store.Put(tierHealth, healthKey, 0, data)
+}
+
+// restoreHealth resumes persisted quarantines at boot (attempt counts
+// preserved; exhausted sites stay terminal apart from slow recovery
+// probes). May relaunch repair workers, exactly as the original process
+// would have after the same transitions.
+func (wb *Webbase) restoreHealth() {
+	if wb.store == nil || wb.health == nil {
+		return
+	}
+	payload, _, err := wb.store.Get(tierHealth, healthKey)
+	if err != nil {
+		return
+	}
+	var snap map[string]health.SiteSnapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		wb.store.CountCorrupt(tierHealth)
+		return
+	}
+	wb.health.Restore(snap)
+}
+
+// FlushState forces every dirty durable-tier write to disk: queued page
+// writes, plus fresh breaker and health snapshots. It is the
+// graceful-shutdown flush — and a no-op without Config.StateDir.
+func (wb *Webbase) FlushState() {
+	if wb.store == nil {
+		return
+	}
+	wb.persistBreaker()
+	wb.persistHealth()
+	if wb.pageTier != nil {
+		wb.pageTier.Flush()
+	}
+}
+
+// Close releases the webbase's background resources: it ends health
+// recovery probe loops, flushes durable state and stops the page tier's
+// writer. Queries must have drained first. Safe without Config.StateDir
+// (only the health shutdown applies) and safe to call more than once.
+func (wb *Webbase) Close() {
+	wb.health.Close()
+	wb.FlushState()
+	if wb.pageTier != nil {
+		wb.pageTier.Close()
+	}
+}

@@ -76,8 +76,20 @@ type Config struct {
 	// for deterministic tests); nil uses time.Now.
 	Clock func() time.Time
 	// Metrics, when non-nil, receives remaps_started_total,
-	// remaps_succeeded_total and the sites_quarantined gauge.
+	// remaps_succeeded_total, recovery_probes_total and the
+	// sites_quarantined gauge.
 	Metrics *trace.Registry
+	// RecoveryBackoff, when > 0, enables slow background recovery probes
+	// for repair-exhausted quarantined sites: after this initial wait
+	// (doubling per failed probe, capped at 64×) the site gets one more
+	// repair attempt, so a permanently-quarantined-then-fixed site
+	// eventually heals without a restart. 0 keeps exhaustion terminal
+	// (the historical behavior).
+	RecoveryBackoff time.Duration
+	// OnChange, when non-nil, is called (outside the tracker's lock) after
+	// every state transition — the durable store's persist hook. It must
+	// be safe for concurrent calls and must not report drift.
+	OnChange func()
 }
 
 // Tracker is the per-site health state machine. A nil *Tracker is a valid
@@ -89,14 +101,18 @@ type Tracker struct {
 	mu    sync.Mutex
 	sites map[string]*site
 	wg    sync.WaitGroup
+
+	stop      chan struct{} // closed by Close; ends recovery probe loops
+	closeOnce sync.Once
 }
 
 type site struct {
-	state     State
-	drifts    int  // drift reports since last healthy
-	attempts  int  // repair attempts spent in the current quarantine
-	exhausted bool // attempts bound hit: no more workers for this site
-	since     time.Time
+	state      State
+	drifts     int  // drift reports since last healthy
+	attempts   int  // repair attempts spent in the current quarantine
+	exhausted  bool // attempts bound hit: no more workers for this site
+	recovering bool // a slow recovery probe loop is running for this site
+	since      time.Time
 }
 
 // New returns a tracker with the given configuration.
@@ -116,7 +132,35 @@ func New(cfg Config) *Tracker {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	return &Tracker{cfg: cfg, sites: make(map[string]*site)}
+	return &Tracker{cfg: cfg, sites: make(map[string]*site), stop: make(chan struct{})}
+}
+
+// changed fires the persist hook; call without holding t.mu.
+func (t *Tracker) changed() {
+	if t.cfg.OnChange != nil {
+		t.cfg.OnChange()
+	}
+}
+
+// stopped reports whether Close has been called.
+func (t *Tracker) stopped() bool {
+	select {
+	case <-t.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close ends the tracker's slow recovery probe loops. Repair workers
+// launched by quarantine finish their bounded attempts on their own
+// (Wait); recovery loops are unbounded by design, so shutdown must cut
+// them. Safe to call more than once; a nil tracker is a no-op.
+func (t *Tracker) Close() {
+	if t == nil {
+		return
+	}
+	t.closeOnce.Do(func() { close(t.stop) })
 }
 
 // ReportDrift records one query-time drift observation against the host
@@ -146,6 +190,7 @@ func (t *Tracker) ReportDrift(host string) State {
 	s.drifts++
 	if s.drifts < t.cfg.Threshold {
 		t.mu.Unlock()
+		t.changed()
 		return Suspect
 	}
 	s.state = Quarantined
@@ -156,6 +201,7 @@ func (t *Tracker) ReportDrift(host string) State {
 	}
 	t.gaugeLocked()
 	t.mu.Unlock()
+	t.changed()
 	if launch {
 		go t.repairLoop(host)
 	}
@@ -174,13 +220,16 @@ func (t *Tracker) repairLoop(host string) {
 			s.exhausted = true
 			s.state = Quarantined
 			t.gaugeLocked()
+			t.launchRecoveryLocked(host, s)
 			t.mu.Unlock()
+			t.changed()
 			return
 		}
 		s.attempts++
 		attempt := s.attempts
 		s.state = Repairing
 		t.mu.Unlock()
+		t.changed()
 
 		counter(t.cfg.Metrics, "remaps_started_total")
 		err := t.cfg.Repair(host)
@@ -195,19 +244,94 @@ func (t *Tracker) repairLoop(host string) {
 			t.gaugeLocked()
 			t.mu.Unlock()
 			counter(t.cfg.Metrics, "remaps_succeeded_total")
+			t.changed()
 			return
 		}
 		s.state = Quarantined
 		exhausted := attempt >= t.cfg.MaxAttempts
 		if exhausted {
 			s.exhausted = true
+			t.launchRecoveryLocked(host, s)
 		}
 		t.gaugeLocked()
 		t.mu.Unlock()
+		t.changed()
 		if exhausted {
 			return
 		}
 		t.cfg.Sleep(t.cfg.Backoff << (attempt - 1))
+	}
+}
+
+// launchRecoveryLocked starts the slow recovery probe loop for an
+// exhausted site, if enabled and not already running. t.mu must be held.
+// Recovery loops are deliberately not part of t.wg: they run for as long
+// as the site stays dead, and Wait — the tests' quiescence point — must
+// not block on them. Close ends them.
+func (t *Tracker) launchRecoveryLocked(host string, s *site) {
+	if t.cfg.RecoveryBackoff <= 0 || t.cfg.Repair == nil || s.recovering {
+		return
+	}
+	s.recovering = true
+	go t.recoverLoop(host)
+}
+
+// recoverLoop is the satellite to repair exhaustion: a clock-driven
+// background re-probe with long, doubling backoff. A probe is one more
+// repair attempt — success returns the site to healthy exactly as a
+// normal repair would; failure re-quarantines and waits longer. Probes do
+// not count against MaxAttempts (the exhaustion bound is about the fast
+// remap loop, not about eventual recovery).
+func (t *Tracker) recoverLoop(host string) {
+	backoff := t.cfg.RecoveryBackoff
+	maxBackoff := t.cfg.RecoveryBackoff << 6
+	for {
+		t.cfg.Sleep(backoff)
+		if t.stopped() {
+			return
+		}
+		t.mu.Lock()
+		s := t.sites[host]
+		if s == nil || s.state != Quarantined || !s.exhausted {
+			// Healed by other means (operator restart path, a successful
+			// swap); this loop's job is done.
+			if s != nil {
+				s.recovering = false
+			}
+			t.mu.Unlock()
+			return
+		}
+		s.state = Repairing
+		t.mu.Unlock()
+		t.changed()
+
+		counter(t.cfg.Metrics, "recovery_probes_total")
+		err := t.cfg.Repair(host)
+
+		t.mu.Lock()
+		if err == nil {
+			s.state = Healthy
+			s.drifts = 0
+			s.attempts = 0
+			s.exhausted = false
+			s.recovering = false
+			s.since = t.cfg.Clock()
+			t.gaugeLocked()
+			t.mu.Unlock()
+			counter(t.cfg.Metrics, "remaps_succeeded_total")
+			t.changed()
+			return
+		}
+		s.state = Quarantined
+		t.gaugeLocked()
+		t.mu.Unlock()
+		t.changed()
+		if t.stopped() {
+			return
+		}
+		if backoff < maxBackoff {
+			backoff <<= 1
+		}
 	}
 }
 
@@ -259,6 +383,92 @@ func (t *Tracker) Quarantined() map[string]bool {
 		}
 	}
 	return out
+}
+
+// SiteSnapshot is the durable view of one site's health: state plus the
+// counters that make restart indistinguishable from a long pause — a
+// restored process must not re-probe a known-dead host or hand a
+// quarantined site a fresh MaxAttempts budget.
+type SiteSnapshot struct {
+	State     string    `json:"state"`
+	Drifts    int       `json:"drifts"`
+	Attempts  int       `json:"attempts"`
+	Exhausted bool      `json:"exhausted"`
+	Since     time.Time `json:"since"`
+}
+
+// Snapshot captures every site with health evidence. A site mid-repair is
+// recorded as quarantined: the worker goroutine does not survive a
+// restart, but the quarantine (and the attempts already spent) does.
+func (t *Tracker) Snapshot() map[string]SiteSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]SiteSnapshot, len(t.sites))
+	for host, s := range t.sites {
+		st := s.state
+		if st == Repairing {
+			st = Quarantined
+		}
+		if st == Healthy && s.drifts == 0 {
+			continue // cold default; nothing worth persisting
+		}
+		out[host] = SiteSnapshot{State: st.String(), Drifts: s.drifts,
+			Attempts: s.attempts, Exhausted: s.exhausted, Since: s.since}
+	}
+	return out
+}
+
+// Restore pre-populates sites from a persisted snapshot, before the
+// tracker takes drift reports. Restored quarantines resume where they
+// left off: a site with repair budget remaining relaunches its worker
+// (continuing, not restarting, the attempt count); an exhausted site
+// stays terminal — except that when RecoveryBackoff is enabled it gets a
+// slow probe loop, exactly as it would have in the original process.
+// Unknown state strings are ignored (version-skew tolerance: fall back to
+// cold, never guess).
+func (t *Tracker) Restore(snap map[string]SiteSnapshot) {
+	if t == nil {
+		return
+	}
+	type relaunch struct{ host string }
+	var workers []relaunch
+	t.mu.Lock()
+	for host, ss := range snap {
+		if _, exists := t.sites[host]; exists {
+			continue
+		}
+		s := &site{drifts: ss.Drifts, attempts: ss.Attempts,
+			exhausted: ss.Exhausted, since: ss.Since}
+		switch ss.State {
+		case Suspect.String():
+			s.state = Suspect
+		case Quarantined.String(), Repairing.String():
+			s.state = Quarantined
+		case Healthy.String():
+			s.state = Healthy
+		default:
+			continue
+		}
+		t.sites[host] = s
+		if s.state != Quarantined {
+			continue
+		}
+		if s.exhausted || s.attempts >= t.cfg.MaxAttempts {
+			s.exhausted = true
+			t.launchRecoveryLocked(host, s)
+		} else if t.cfg.Repair != nil {
+			t.wg.Add(1)
+			workers = append(workers, relaunch{host})
+		}
+	}
+	t.gaugeLocked()
+	t.mu.Unlock()
+	for _, w := range workers {
+		go t.repairLoop(w.host)
+	}
 }
 
 // Wait blocks until every launched repair worker has finished — the

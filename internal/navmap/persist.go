@@ -191,6 +191,22 @@ func (m *Map) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// EncodeMap renders a map in the persisted (version-2, fingerprinted)
+// format — the payload the durable store writes when a repaired map is
+// hot-swapped in.
+func EncodeMap(m *Map) ([]byte, error) { return m.MarshalJSON() }
+
+// DecodeMap parses and validates a persisted map. Any malformation —
+// syntax, fingerprint mismatch, unknown version, graph that fails
+// Validate — returns an error; a decoded map is safe to swap in.
+func DecodeMap(data []byte) (*Map, error) {
+	m := new(Map)
+	if err := m.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
 func encodeExtract(s navcalc.ExtractSpec) *extractJSON {
 	out := &extractJSON{}
 	for _, c := range s.Columns {

@@ -112,7 +112,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		rid = fmt.Sprintf("r-%06d", s.reqSeq.Add(1))
 	}
 
-	tenant, err := s.tenants.admit(apiKey(r))
+	tenant, release, err := s.tenants.admit(apiKey(r))
 	if err != nil {
 		body := s.errorBody(rid, err)
 		s.account(tenant.Name, body.Status)
@@ -120,6 +120,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.logger.Printf("req=%s tenant=%s status=%d code=%s", rid, tenantLabel(tenant), body.Status, body.Code)
 		return
 	}
+	// The concurrency slot is held for the whole request, streaming
+	// included — a tenant's limit bounds open streams, not just admissions.
+	defer release()
 	s.count("server_queries_total", tenant.Name)
 
 	text, err := readQueryText(r.Body, s.maxBody)
@@ -242,6 +245,8 @@ func (s *Server) errorBody(rid string, err error) errorBody {
 		status, code = http.StatusUnauthorized, "unauthorized"
 	case errors.Is(err, errQuotaExhausted):
 		status, code = http.StatusTooManyRequests, "quota-exhausted"
+	case errors.Is(err, errTenantSaturated):
+		status, code = http.StatusTooManyRequests, "tenant-saturated"
 	case errors.Is(err, core.ErrShedded):
 		status, code = http.StatusTooManyRequests, "shedded"
 	case errors.Is(err, errBodyTooLarge):

@@ -13,8 +13,9 @@ import (
 
 // Tenant identification errors; writeEnvelope maps them onto 401/429.
 var (
-	errUnknownKey     = errors.New("server: unknown API key")
-	errQuotaExhausted = errors.New("server: tenant quota exhausted")
+	errUnknownKey      = errors.New("server: unknown API key")
+	errQuotaExhausted  = errors.New("server: tenant quota exhausted")
+	errTenantSaturated = errors.New("server: tenant concurrency limit reached")
 )
 
 // DefaultQuotaWindow is the fixed quota window applied when a Tenant
@@ -38,13 +39,21 @@ type Tenant struct {
 	Quota int64
 	// Window is the fixed quota window. 0 means DefaultQuotaWindow.
 	Window time.Duration
+	// MaxConcurrent caps the tenant's concurrently executing queries
+	// (streams held open count for their whole duration). Beyond it,
+	// requests are shed with 429 — and, unlike quota sheds, do not spend
+	// quota: a saturated burst does not eat the tenant's window budget.
+	// 0 = unlimited.
+	MaxConcurrent int64
 }
 
-// tenantState is a Tenant plus its current quota window.
+// tenantState is a Tenant plus its current quota window and in-flight
+// count.
 type tenantState struct {
 	Tenant
 	windowStart time.Time
 	used        int64
+	inflight    int64
 }
 
 // tenantSet maps API keys to tenants and enforces fixed-window quotas.
@@ -87,18 +96,27 @@ func newTenantSet(tenants []Tenant, clock func() time.Time) (*tenantSet, error) 
 	return ts, nil
 }
 
-// admit authenticates the key and spends one unit of the tenant's quota.
-// It returns the tenant's identity even when the quota sheds the
-// request, so the caller can attribute the shed to the right tenant.
-func (ts *tenantSet) admit(key string) (Tenant, error) {
+// admit authenticates the key, checks the tenant's concurrency limit and
+// spends one unit of its quota. It returns the tenant's identity even
+// when the request is shed, so the caller can attribute the shed to the
+// right tenant, plus a release the caller must invoke when the request
+// finishes (safe to call more than once; a no-op on error). The
+// concurrency check runs before the quota spend, so a saturated request
+// never consumes window budget.
+func (ts *tenantSet) admit(key string) (Tenant, func(), error) {
+	release := func() {}
 	if ts.anon != nil {
-		return *ts.anon, nil
+		return *ts.anon, release, nil
 	}
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
 	st, ok := ts.byKey[key]
 	if !ok {
-		return Tenant{}, errUnknownKey
+		return Tenant{}, release, errUnknownKey
+	}
+	if st.MaxConcurrent > 0 && st.inflight >= st.MaxConcurrent {
+		return st.Tenant, release, fmt.Errorf("%w: tenant %q has %d of %d queries in flight",
+			errTenantSaturated, st.Name, st.inflight, st.MaxConcurrent)
 	}
 	if st.Quota > 0 {
 		now := ts.clock()
@@ -107,12 +125,21 @@ func (ts *tenantSet) admit(key string) (Tenant, error) {
 			st.used = 0
 		}
 		if st.used >= st.Quota {
-			return st.Tenant, fmt.Errorf("%w: tenant %q spent %d of %d this window",
+			return st.Tenant, release, fmt.Errorf("%w: tenant %q spent %d of %d this window",
 				errQuotaExhausted, st.Name, st.used, st.Quota)
 		}
 		st.used++
 	}
-	return st.Tenant, nil
+	st.inflight++
+	var once sync.Once
+	release = func() {
+		once.Do(func() {
+			ts.mu.Lock()
+			st.inflight--
+			ts.mu.Unlock()
+		})
+	}
+	return st.Tenant, release, nil
 }
 
 // apiKey extracts the request's API key: a Bearer token, else the

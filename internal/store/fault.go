@@ -1,0 +1,171 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+)
+
+// FS is the store's filesystem seam. The production implementation (osFS)
+// writes atomically — temp file in the same directory, fsync, rename — so
+// a crash leaves either the old record or the new one, never a torn
+// hybrid. FaultFS implements the same interface with injectable faults;
+// every tier's corruption tests drive the store through it.
+type FS interface {
+	// MkdirAll creates dir and its parents.
+	MkdirAll(dir string) error
+	// ReadFile returns the file's contents.
+	ReadFile(path string) ([]byte, error)
+	// WriteFile atomically replaces path with data.
+	WriteFile(path string, data []byte) error
+	// Remove deletes path (no error if it does not exist).
+	Remove(path string) error
+	// ReadDir lists the file names in dir, sorted; a missing dir is an
+	// empty listing.
+	ReadDir(dir string) ([]string, error)
+}
+
+// osFS is the production filesystem.
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// WriteFile is the crash-safety core: the new record becomes visible only
+// through the atomic rename, after its bytes are durably on disk. A
+// reader concurrently holding the old file keeps a consistent record —
+// replacement is never observed half-done.
+func (osFS) WriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".wbs-tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+func (osFS) Remove(path string) error {
+	err := os.Remove(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.Type().IsRegular() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// FaultFS is the fault-injecting filesystem double the robustness suite
+// reuses across every tier: it simulates torn writes (a crash between the
+// first byte and the fsync), hard read/write failures (a full or yanked
+// disk), and corruption on the read path (bit rot below the filesystem).
+// Configure the fault fields at quiescent points — they are read without
+// locks on the store's hot path, mirroring how web.Redesign is activated
+// once at a safe point.
+type FaultFS struct {
+	// Inner is the wrapped filesystem; nil means the real one.
+	Inner FS
+
+	// TornWriteBytes, when > 0, makes every write persist only its first
+	// N bytes — and still report success, the way a crash after write(2)
+	// but before fsync completes looks at next boot.
+	TornWriteBytes int
+	// FailWrites, when non-nil, fails every write with this error.
+	FailWrites error
+	// FailReads, when non-nil, fails every read with this error.
+	FailReads error
+	// CorruptRead, when non-nil, transforms every successfully read file
+	// before the store sees it (bit flips, truncation, version skew).
+	CorruptRead func(data []byte) []byte
+
+	// writes counts WriteFile calls (including failed and torn ones).
+	writes atomic.Int64
+}
+
+// Writes reports how many WriteFile calls the double has seen (including
+// failed and torn ones).
+func (f *FaultFS) Writes() int64 { return f.writes.Load() }
+
+func (f *FaultFS) inner() FS {
+	if f.Inner != nil {
+		return f.Inner
+	}
+	return osFS{}
+}
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(dir string) error { return f.inner().MkdirAll(dir) }
+
+// ReadFile implements FS with read faults.
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	if f.FailReads != nil {
+		return nil, f.FailReads
+	}
+	data, err := f.inner().ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if f.CorruptRead != nil {
+		data = f.CorruptRead(append([]byte(nil), data...))
+	}
+	return data, nil
+}
+
+// WriteFile implements FS with write faults.
+func (f *FaultFS) WriteFile(path string, data []byte) error {
+	f.writes.Add(1)
+	if f.FailWrites != nil {
+		return f.FailWrites
+	}
+	if f.TornWriteBytes > 0 && len(data) > f.TornWriteBytes {
+		// The torn prefix lands on disk and the writer believes it
+		// succeeded; the next reader must detect the damage.
+		if err := f.inner().WriteFile(path, data[:f.TornWriteBytes]); err != nil {
+			return err
+		}
+		return nil
+	}
+	return f.inner().WriteFile(path, data)
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(path string) error { return f.inner().Remove(path) }
+
+// ReadDir implements FS.
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.inner().ReadDir(dir) }

@@ -1,0 +1,190 @@
+package store
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"webbase/internal/web"
+)
+
+// pagesTier is the tier name the page cache persists under.
+const pagesTier = "pages"
+
+// genMetaKey is the reserved record that carries the page tier's current
+// generation (in the record's generation header; the payload is empty).
+// Entries written under an older generation are ignored and garbage
+// collected — the durable analogue of web.Cache dropping in-flight fills
+// from before a Clear.
+const genMetaKey = "!generation"
+
+// pagePayload is the JSON body of a persisted page: the response plus the
+// fetch timestamp, so MaxAge/AllowStale freshness semantics apply across
+// restarts exactly as they do in memory.
+type pagePayload struct {
+	Status    int    `json:"status"`
+	URL       string `json:"url"`
+	Body      []byte `json:"body"`
+	FetchedAt int64  `json:"fetchedAt"` // UnixNano
+}
+
+// pageJob is one queued write: a page store, or a flush marker (done
+// non-nil, page zero).
+type pageJob struct {
+	key  string
+	gen  uint64
+	data []byte
+	done chan struct{}
+}
+
+// PageTier is the disk-backed second tier behind web.Cache. Stores are
+// asynchronous — a single writer goroutine drains a bounded queue, and
+// when the queue is full the caller writes synchronously rather than
+// dropping the page — so the fetch path never waits on disk in the common
+// case but warmth is never silently lost. Loads are synchronous reads of
+// one fingerprinted file.
+//
+// The tier keeps its own generation, persisted in a meta record:
+// Invalidate (web.Cache.Clear, drift-triggered clears) bumps it, making
+// every existing disk entry unreadable-by-design. If the meta record
+// itself is corrupt at open, the whole tier is dropped — with no trusted
+// generation, an old entry could otherwise resurrect a page a clear meant
+// to discard.
+type PageTier struct {
+	store *Store
+
+	mu     sync.RWMutex // guards gen and jobs-channel lifecycle (Close vs Save)
+	gen    uint64
+	jobs   chan pageJob
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewPageTier opens the page tier over s, restoring the persisted
+// generation (or starting fresh — and clearing untrusted entries — when
+// it is missing or corrupt).
+func NewPageTier(s *Store) *PageTier {
+	t := &PageTier{store: s, jobs: make(chan pageJob, 256)}
+	_, gen, err := s.Get(pagesTier, genMetaKey)
+	switch {
+	case err == nil:
+		t.gen = gen
+	case IsNotExist(err):
+		// Fresh tier.
+	default:
+		// The generation bookkeeping itself is corrupt: without it, entries
+		// from a pre-Clear era are indistinguishable from live ones. Drop
+		// the tier and start cold. (Get already counted the corruption.)
+		s.DeleteTier(pagesTier)
+	}
+	t.wg.Add(1)
+	go t.writer()
+	return t
+}
+
+func (t *PageTier) writer() {
+	defer t.wg.Done()
+	for job := range t.jobs {
+		if job.done != nil {
+			close(job.done)
+			continue
+		}
+		t.store.Put(pagesTier, job.key, job.gen, job.data)
+	}
+}
+
+// Load implements web.CacheTier: it returns the persisted page for key and
+// its original fetch time. Misses, corruption and generation skew all
+// come back as a plain miss — the memory tier re-fetches and re-stores.
+func (t *PageTier) Load(key string) (*web.Response, time.Time, bool) {
+	t.mu.RLock()
+	gen := t.gen
+	t.mu.RUnlock()
+	payload, recGen, err := t.store.Get(pagesTier, key)
+	if err != nil {
+		if IsCorrupt(err) {
+			t.store.Delete(pagesTier, key) // don't re-decode known-bad bytes
+		}
+		return nil, time.Time{}, false
+	}
+	if recGen != gen {
+		// Written before an Invalidate: the clear's intent outlives the
+		// process, so the entry is dead. Collect it.
+		t.store.Delete(pagesTier, key)
+		return nil, time.Time{}, false
+	}
+	var p pagePayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		t.store.CountCorrupt(pagesTier)
+		t.store.Delete(pagesTier, key)
+		return nil, time.Time{}, false
+	}
+	return &web.Response{Status: p.Status, URL: p.URL, Body: p.Body},
+		time.Unix(0, p.FetchedAt), true
+}
+
+// Store implements web.CacheTier: it persists a freshly fetched page.
+// The write is queued for the background writer; when the queue is full
+// it happens synchronously so warmth is not lost under burst.
+func (t *PageTier) Store(key string, resp *web.Response, fetchedAt time.Time) {
+	data, err := json.Marshal(pagePayload{
+		Status:    resp.Status,
+		URL:       resp.URL,
+		Body:      resp.Body,
+		FetchedAt: fetchedAt.UnixNano(),
+	})
+	if err != nil {
+		return
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		return
+	}
+	job := pageJob{key: key, gen: t.gen, data: data}
+	select {
+	case t.jobs <- job:
+	default:
+		t.store.Put(pagesTier, key, t.gen, data)
+	}
+}
+
+// Invalidate implements web.CacheTier: called under the memory cache's
+// lock by Clear, it bumps the durable generation and persists it
+// synchronously, so the invalidation itself survives a crash — entries
+// from before the clear stay dead even if the process dies immediately
+// after.
+func (t *PageTier) Invalidate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.gen++
+	t.store.Put(pagesTier, genMetaKey, t.gen, nil)
+}
+
+// Flush blocks until every store queued before the call has been written.
+func (t *PageTier) Flush() {
+	t.mu.RLock()
+	if t.closed {
+		t.mu.RUnlock()
+		return
+	}
+	done := make(chan struct{})
+	t.jobs <- pageJob{done: done}
+	t.mu.RUnlock()
+	<-done
+}
+
+// Close flushes and stops the background writer. The tier refuses further
+// stores (loads keep working) — it is called once, at shutdown.
+func (t *PageTier) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	close(t.jobs)
+	t.mu.Unlock()
+	t.wg.Wait()
+}

@@ -1,0 +1,129 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"webbase/internal/trace"
+	"webbase/internal/web"
+)
+
+func pageTierOver(t *testing.T, dir string) (*PageTier, *Store) {
+	t.Helper()
+	s, err := Open(dir, Options{Metrics: trace.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := NewPageTier(s)
+	t.Cleanup(pt.Close)
+	return pt, s
+}
+
+func TestPageTierRoundTripAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	pt, _ := pageTierOver(t, dir)
+	fetched := time.Date(2026, 8, 8, 12, 0, 0, 123456789, time.UTC)
+	resp := &web.Response{Status: 200, URL: "http://x.test/a", Body: []byte("<html>a</html>")}
+	pt.Store("key-a", resp, fetched)
+	pt.Flush()
+	pt.Close()
+
+	// Restart: a fresh tier over the same dir serves the page with its
+	// original fetch time, so MaxAge semantics carry across the restart.
+	pt2, _ := pageTierOver(t, dir)
+	got, at, ok := pt2.Load("key-a")
+	if !ok {
+		t.Fatal("warm page lost across restart")
+	}
+	if got.Status != resp.Status || got.URL != resp.URL || !bytes.Equal(got.Body, resp.Body) {
+		t.Fatalf("restored page = %+v, want %+v", got, resp)
+	}
+	if !at.Equal(fetched) {
+		t.Fatalf("restored fetch time = %v, want %v", at, fetched)
+	}
+}
+
+func TestPageTierInvalidateSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	pt, _ := pageTierOver(t, dir)
+	pt.Store("k", web.HTML("http://x.test/", "old design"), time.Unix(1, 0))
+	pt.Flush()
+	pt.Invalidate() // the Clear's intent must outlive the process
+	pt.Close()
+
+	pt2, _ := pageTierOver(t, dir)
+	if _, _, ok := pt2.Load("k"); ok {
+		t.Fatal("invalidated page resurrected after restart")
+	}
+	// Entries stored after the invalidation live under the new generation.
+	pt2.Store("k", web.HTML("http://x.test/", "new design"), time.Unix(2, 0))
+	pt2.Flush()
+	if got, _, ok := pt2.Load("k"); !ok || string(got.Body) != "new design" {
+		t.Fatalf("post-invalidate store not served: %v %q", ok, got)
+	}
+}
+
+func TestPageTierCorruptGenerationDropsTier(t *testing.T) {
+	dir := t.TempDir()
+	pt, s := pageTierOver(t, dir)
+	pt.Store("k", web.HTML("http://x.test/", "body"), time.Unix(1, 0))
+	pt.Invalidate() // persist a non-zero generation
+	pt.Store("k2", web.HTML("http://x.test/2", "body2"), time.Unix(2, 0))
+	pt.Flush()
+	pt.Close()
+
+	// Corrupt the generation meta record: with no trusted generation, an
+	// old entry could resurrect a cleared page, so the whole tier drops.
+	metaPath := s.path(pagesTier, genMetaKey)
+	if err := os.WriteFile(metaPath, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pt2, s2 := pageTierOver(t, dir)
+	if _, _, ok := pt2.Load("k2"); ok {
+		t.Fatal("entry served from a tier whose generation bookkeeping was lost")
+	}
+	names, _ := os.ReadDir(filepath.Join(dir, pagesTier))
+	for _, n := range names {
+		t.Errorf("tier not emptied: %s remains", n.Name())
+	}
+	_ = s2
+}
+
+func TestPageTierCorruptEntryIsMissAndCollected(t *testing.T) {
+	dir := t.TempDir()
+	pt, s := pageTierOver(t, dir)
+	pt.Store("k", web.HTML("http://x.test/", "body"), time.Unix(1, 0))
+	pt.Flush()
+	p := s.path(pagesTier, "k")
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := pt.Load("k"); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Error("corrupt entry not garbage-collected")
+	}
+	// The memory tier refills over it as if it were a plain miss.
+	pt.Store("k", web.HTML("http://x.test/", "refill"), time.Unix(2, 0))
+	pt.Flush()
+	if got, _, ok := pt.Load("k"); !ok || string(got.Body) != "refill" {
+		t.Fatalf("refill after corruption failed: %v %q", ok, got)
+	}
+}
+
+func TestPageTierStoreAfterCloseIsNoop(t *testing.T) {
+	pt, _ := pageTierOver(t, t.TempDir())
+	pt.Close()
+	pt.Store("k", web.HTML("http://x.test/", "late"), time.Unix(1, 0)) // must not panic
+	pt.Flush()                                                         // must not hang
+	pt.Invalidate()
+}

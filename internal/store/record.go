@@ -1,0 +1,122 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The on-disk record format. Every state file the store writes — a cached
+// page, a repaired map, a breaker or health snapshot — is one record:
+//
+//	magic   "WBS1"                        4 bytes
+//	version uint16 (FormatVersion)        2 bytes
+//	flags   uint16 (reserved, zero)       2 bytes
+//	gen     uint64 (tier generation)      8 bytes
+//	keyLen  uint32                        4 bytes
+//	payLen  uint32                        4 bytes
+//	key     keyLen bytes
+//	payload payLen bytes
+//	sum     sha256[:16] of all preceding  16 bytes
+//
+// The fingerprint makes every corruption mode the robustness suite
+// injects — truncation, bit flips, torn writes, version skew, a file
+// renamed onto the wrong key — a detected decode failure rather than
+// silently wrong state. Decoding never panics on arbitrary input
+// (FuzzStoreDecode pins this); every failure wraps ErrCorrupt so callers
+// fall back to cold state with one errors.Is check.
+
+// FormatVersion identifies the record format. A record carrying any other
+// version — an older binary reading a newer state dir, or vice versa — is
+// treated exactly like corruption: cold fallback, never a guess.
+const FormatVersion = 1
+
+const (
+	recordMagic = "WBS1"
+	headerLen   = 4 + 2 + 2 + 8 + 4 + 4
+	checksumLen = 16
+	// maxRecordLen bounds a single decoded field so a corrupted length
+	// prefix cannot drive a huge allocation. 64 MiB is far above any
+	// state this system persists.
+	maxRecordLen = 64 << 20
+)
+
+// ErrCorrupt classifies a state file that failed an integrity check:
+// truncated, bit-flipped, version-skewed, torn mid-write, or carrying the
+// wrong key. Match with errors.Is. A corrupt file is never an operational
+// failure — every tier falls back to cold state and counts
+// store_corrupt_total.
+var ErrCorrupt = errors.New("store: corrupt state file")
+
+// ErrNotExist reports a clean miss: no state file for the key. Match with
+// errors.Is.
+var ErrNotExist = errors.New("store: no such entry")
+
+// Record is one decoded state file.
+type Record struct {
+	// Key is the logical key the record was written under. File names are
+	// hashes, so the key rides inside the record and is verified on read.
+	Key string
+	// Generation is the tier generation the record was written under;
+	// tiers that invalidate in bulk (the page cache on Clear or drift)
+	// ignore records from older generations.
+	Generation uint64
+	// Payload is the tier-specific body.
+	Payload []byte
+}
+
+// encodeRecord renders a record in the on-disk format.
+func encodeRecord(key string, gen uint64, payload []byte) []byte {
+	n := headerLen + len(key) + len(payload) + checksumLen
+	buf := make([]byte, 0, n)
+	buf = append(buf, recordMagic...)
+	buf = binary.BigEndian.AppendUint16(buf, FormatVersion)
+	buf = binary.BigEndian.AppendUint16(buf, 0)
+	buf = binary.BigEndian.AppendUint64(buf, gen)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(key)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, key...)
+	buf = append(buf, payload...)
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:checksumLen]...)
+}
+
+// DecodeRecord parses and verifies one state file. Any malformation —
+// short file, bad magic, unsupported version, length prefixes that do not
+// match the file size, checksum mismatch — returns an error wrapping
+// ErrCorrupt. DecodeRecord never panics, whatever the input
+// (FuzzStoreDecode).
+func DecodeRecord(data []byte) (*Record, error) {
+	if len(data) < headerLen+checksumLen {
+		return nil, fmt.Errorf("%w: %d bytes, want at least %d (truncated)",
+			ErrCorrupt, len(data), headerLen+checksumLen)
+	}
+	if string(data[:4]) != recordMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+	}
+	if v := binary.BigEndian.Uint16(data[4:6]); v != FormatVersion {
+		return nil, fmt.Errorf("%w: unsupported format version %d (want %d)",
+			ErrCorrupt, v, FormatVersion)
+	}
+	gen := binary.BigEndian.Uint64(data[8:16])
+	keyLen := uint64(binary.BigEndian.Uint32(data[16:20]))
+	payLen := uint64(binary.BigEndian.Uint32(data[20:24]))
+	if keyLen > maxRecordLen || payLen > maxRecordLen {
+		return nil, fmt.Errorf("%w: implausible lengths key=%d payload=%d", ErrCorrupt, keyLen, payLen)
+	}
+	want := uint64(headerLen) + keyLen + payLen + checksumLen
+	if uint64(len(data)) != want {
+		return nil, fmt.Errorf("%w: %d bytes, header declares %d", ErrCorrupt, len(data), want)
+	}
+	body := data[:len(data)-checksumLen]
+	sum := sha256.Sum256(body)
+	if string(sum[:checksumLen]) != string(data[len(data)-checksumLen:]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return &Record{
+		Key:        string(data[headerLen : headerLen+int(keyLen)]),
+		Generation: gen,
+		Payload:    append([]byte(nil), data[headerLen+int(keyLen):len(data)-checksumLen]...),
+	}, nil
+}

@@ -97,6 +97,44 @@ func (r *Registry) SwapMap(name string, m *navmap.Map) (int, error) {
 	return version, nil
 }
 
+// RestoreMap installs a previously persisted repaired map as the
+// relation's override, preserving the map version it was healed at — a
+// restart must not rewind MapVersion, or a fleet member would re-announce
+// an old generation. It shares SwapMap's validate/translate/schema-check
+// discipline (a corrupt or mismatched persisted map changes nothing), and
+// is meant for boot time, before queries run.
+func (r *Registry) RestoreMap(name string, m *navmap.Map, version int) error {
+	ri, ok := r.relations[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownRelation, name)
+	}
+	if version < 2 {
+		return fmt.Errorf("vps: restoring map for %s: version %d is not a swap generation (≥ 2)", name, version)
+	}
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("vps: restoring map for %s: %w", name, err)
+	}
+	expr, err := navmap.Translate(m)
+	if err != nil {
+		return fmt.Errorf("vps: restoring map for %s: %w", name, err)
+	}
+	if !expr.Schema.EqualUnordered(ri.Schema) {
+		return fmt.Errorf("vps: restoring map for %s: map schema %v ≠ relation schema %v",
+			name, expr.Schema, ri.Schema)
+	}
+	if prev := ri.override.Load(); prev != nil && prev.Version >= version {
+		return fmt.Errorf("vps: restoring map for %s: version %d is not newer than installed %d",
+			name, version, prev.Version)
+	}
+	ri.override.Store(&MapOverride{
+		Map:         m,
+		Expr:        expr,
+		Version:     version,
+		Fingerprint: navmap.Fingerprint(m),
+	})
+	return nil
+}
+
 type quarantineKey struct{}
 
 // ContextWithQuarantine attaches the set of quarantined hosts consulted

@@ -31,6 +31,11 @@ type BreakerConfig struct {
 	// tests inject a fake clock to step through state transitions
 	// deterministically.
 	Clock func() time.Time
+	// OnChange, when non-nil, is called (outside all breaker locks) after
+	// a circuit trips open or a half-open probe closes it — the durable
+	// store's persist-on-transition hook. It must be safe for concurrent
+	// calls and must not fetch through this breaker.
+	OnChange func(host string, state BreakerState)
 }
 
 func (c BreakerConfig) withDefaults() BreakerConfig {
@@ -168,8 +173,64 @@ func (b *Breaker) Fetch(req *Request) (*Response, error) {
 	resp, err := b.inner.Fetch(req)
 	failed := err != nil &&
 		!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
-	hc.observe(failed, b.cfg.Clock(), b.cfg)
+	if changed, state := hc.observe(failed, b.cfg.Clock(), b.cfg); changed && b.cfg.OnChange != nil {
+		b.cfg.OnChange(host, state)
+	}
 	return resp, err
+}
+
+// BreakerSnapshot is the durable view of one open circuit: enough to
+// restore fail-fast behavior after a restart. The outcome window is
+// transient by design — a restored circuit re-earns closure through the
+// normal half-open probe.
+type BreakerSnapshot struct {
+	State    string    `json:"state"`
+	OpenedAt time.Time `json:"openedAt"`
+	Opens    int64     `json:"opens"`
+}
+
+// Snapshot captures every currently open circuit (half-open and closed
+// circuits are omitted: closed is the cold default, and a half-open
+// circuit restored as open simply re-probes after the remaining
+// cooldown).
+func (b *Breaker) Snapshot() map[string]BreakerSnapshot {
+	b.mu.Lock()
+	hosts := make(map[string]*hostCircuit, len(b.hosts))
+	for h, hc := range b.hosts {
+		hosts[h] = hc
+	}
+	b.mu.Unlock()
+	out := make(map[string]BreakerSnapshot)
+	for h, hc := range hosts {
+		hc.mu.Lock()
+		if hc.state == BreakerOpen {
+			out[h] = BreakerSnapshot{State: BreakerOpen.String(), OpenedAt: hc.openedAt, Opens: hc.opens}
+		}
+		hc.mu.Unlock()
+	}
+	return out
+}
+
+// Restore pre-populates circuits from a persisted snapshot, before the
+// breaker takes traffic. Only open circuits are restored; anything else
+// in the snapshot is ignored (cold default). The original openedAt is
+// kept, so a circuit whose cooldown elapsed while the process was down
+// goes straight to half-open on the first fetch — restored state never
+// blocks recovery longer than live state would have.
+func (b *Breaker) Restore(snap map[string]BreakerSnapshot) {
+	for host, s := range snap {
+		if s.State != BreakerOpen.String() {
+			continue
+		}
+		hc := b.host(host)
+		hc.mu.Lock()
+		if hc.state == BreakerClosed && hc.filled == 0 {
+			hc.state = BreakerOpen
+			hc.openedAt = s.OpenedAt
+			hc.opens = s.Opens
+		}
+		hc.mu.Unlock()
+	}
 }
 
 // allow decides whether a fetch may proceed and performs the
@@ -197,10 +258,12 @@ func (hc *hostCircuit) allow(now time.Time, cfg BreakerConfig) bool {
 }
 
 // observe records a fetch outcome and performs closed→open (threshold)
-// and half-open→closed/open (probe verdict) transitions. Outcomes from
-// fetches admitted before a trip land while the circuit is open and are
-// ignored — they already counted toward opening it.
-func (hc *hostCircuit) observe(failed bool, now time.Time, cfg BreakerConfig) {
+// and half-open→closed/open (probe verdict) transitions, reporting
+// whether the circuit changed state (so the caller can fire OnChange
+// outside the lock). Outcomes from fetches admitted before a trip land
+// while the circuit is open and are ignored — they already counted
+// toward opening it.
+func (hc *hostCircuit) observe(failed bool, now time.Time, cfg BreakerConfig) (bool, BreakerState) {
 	hc.mu.Lock()
 	defer hc.mu.Unlock()
 	switch hc.state {
@@ -209,16 +272,19 @@ func (hc *hostCircuit) observe(failed bool, now time.Time, cfg BreakerConfig) {
 		if hc.filled >= cfg.MinSamples &&
 			float64(hc.failures) >= cfg.FailureRatio*float64(hc.filled) {
 			hc.trip(now)
+			return true, BreakerOpen
 		}
 	case BreakerHalfOpen:
 		hc.probing = false
 		if failed {
 			hc.trip(now)
-		} else {
-			hc.state = BreakerClosed
-			hc.reset()
+			return true, BreakerOpen
 		}
+		hc.state = BreakerClosed
+		hc.reset()
+		return true, BreakerClosed
 	}
+	return false, hc.state
 }
 
 func (hc *hostCircuit) trip(now time.Time) {

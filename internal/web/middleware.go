@@ -228,6 +228,11 @@ type Cache struct {
 	AllowStale bool
 	// Clock supplies entry timestamps; nil means time.Now.
 	Clock func() time.Time
+	// Tier, when non-nil, is a second cache tier strictly below this one
+	// (typically disk-backed): misses consult it before the network, fills
+	// write through to it, and Clear invalidates it. Like MaxAge it is
+	// configuration — set before the cache is used.
+	Tier CacheTier
 
 	mu      sync.RWMutex
 	entries map[string]*cacheEntry
@@ -235,6 +240,24 @@ type Cache struct {
 	hits    atomic.Int64
 	misses  atomic.Int64
 	stale   atomic.Int64
+	// tierHits counts misses answered by the second tier instead of the
+	// network. Tier hits also count as Hits: above this layer they are
+	// indistinguishable from memory hits.
+	tierHits atomic.Int64
+}
+
+// CacheTier is a second cache tier below Cache — the seam the durable
+// store plugs into without this package importing it. Implementations
+// must be safe for concurrent use. Load returns the page and its original
+// fetch time (freshness is judged by the same MaxAge as memory entries);
+// any internal failure is reported as a plain miss. Store and Invalidate
+// are called while the Cache holds its own lock, so a tier observes
+// fills and invalidations in a consistent order; they must not call back
+// into the Cache.
+type CacheTier interface {
+	Load(key string) (*Response, time.Time, bool)
+	Store(key string, resp *Response, fetchedAt time.Time)
+	Invalidate()
 }
 
 // cacheEntry is a cached response stamped with when it was fetched.
@@ -258,6 +281,10 @@ func (c *Cache) Misses() int64 { return c.misses.Load() }
 // path failed (stale-on-error).
 func (c *Cache) Stale() int64 { return c.stale.Load() }
 
+// TierHits returns the number of misses answered by the second tier
+// instead of the network (also counted in Hits).
+func (c *Cache) TierHits() int64 { return c.tierHits.Load() }
+
 // Len returns the number of cached responses.
 func (c *Cache) Len() int {
 	c.mu.RLock()
@@ -274,6 +301,12 @@ func (c *Cache) Clear() {
 	defer c.mu.Unlock()
 	c.entries = make(map[string]*cacheEntry)
 	c.gen++
+	// Invalidate the lower tier under the same lock: a fill racing this
+	// Clear either committed before it (and is now invalid in both tiers)
+	// or will fail the generation check and store nowhere.
+	if c.Tier != nil {
+		c.Tier.Invalidate()
+	}
 }
 
 func (c *Cache) now() time.Time {
@@ -299,6 +332,28 @@ func WithCache(inner Fetcher, cache *Cache) Fetcher {
 			trace.FromContext(req.Context()).Label("outcome", "cache")
 			return e.resp, nil
 		}
+		// Memory miss: consult the lower tier before the network. A tier
+		// entry is judged by the same freshness rule; a fresh one is
+		// promoted into memory (under the generation check, so a racing
+		// Clear still wins) and served as a hit. An expired one stands in
+		// for an expired memory entry: kept for stale-on-error below.
+		if e == nil && cache.Tier != nil {
+			if resp, fetchedAt, ok := cache.Tier.Load(key); ok {
+				te := &cacheEntry{resp: resp, fetchedAt: fetchedAt}
+				cache.mu.Lock()
+				if cache.gen == gen {
+					cache.entries[key] = te
+				}
+				cache.mu.Unlock()
+				if cache.MaxAge <= 0 || now.Sub(fetchedAt) <= cache.MaxAge {
+					cache.hits.Add(1)
+					cache.tierHits.Add(1)
+					trace.FromContext(req.Context()).Label("outcome", "cache")
+					return resp, nil
+				}
+				e = te
+			}
+		}
 		resp, err := inner.Fetch(req)
 		if err != nil {
 			// Stale-on-error: the site is unreachable but we still hold
@@ -318,9 +373,15 @@ func WithCache(inner Fetcher, cache *Cache) Fetcher {
 		cache.mu.Lock()
 		// Drop fills that began under an older generation: Clear() was
 		// called while this fetch was in flight, so the response may be
-		// exactly the page the clear meant to discard.
+		// exactly the page the clear meant to discard. The tier write-through
+		// happens inside the same guarded section: a dropped fill must not
+		// reach disk either, or it would resurrect at the next restart.
 		if cache.gen == gen {
-			cache.entries[key] = &cacheEntry{resp: resp, fetchedAt: cache.now()}
+			fetchedAt := cache.now()
+			cache.entries[key] = &cacheEntry{resp: resp, fetchedAt: fetchedAt}
+			if cache.Tier != nil {
+				cache.Tier.Store(key, resp, fetchedAt)
+			}
 		}
 		cache.mu.Unlock()
 		return resp, nil

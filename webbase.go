@@ -44,6 +44,7 @@ import (
 	"webbase/internal/prune"
 	"webbase/internal/relation"
 	"webbase/internal/sites"
+	"webbase/internal/store"
 	"webbase/internal/trace"
 	"webbase/internal/ur"
 	"webbase/internal/web"
@@ -186,6 +187,24 @@ const (
 // WithQueryClass marks ctx so queries issued under it are admitted at the
 // given class, overriding Config.QueryClass.
 var WithQueryClass = core.WithQueryClass
+
+// Durable state tier (Config.StateDir). The store sits strictly below the
+// in-memory stacks as a second cache tier — never a source of truth — so
+// answers are byte-identical with it on or off. What survives a restart:
+// warmed pages (honoring CacheMaxAge/AllowStale), repaired navigation
+// maps, and breaker/health verdicts (a restarted process does not
+// re-probe a known-dead host or reset its repair budget). A missing,
+// truncated, bit-flipped or version-skewed state file falls back to cold
+// state with a store_corrupt_total{tier=...} metric; it never fails a
+// query. System.FlushState forces dirty state to disk; System.Close is
+// the graceful shutdown (flush + stop background writers).
+var (
+	// ErrStoreCorrupt classifies a state file that failed an integrity
+	// check. Match with errors.Is; corrupt state is self-healing (cold
+	// fallback), so this surfaces only through store-level APIs, never
+	// from queries.
+	ErrStoreCorrupt = store.ErrCorrupt
+)
 
 // Overload-protection sentinels. Match with errors.Is.
 var (

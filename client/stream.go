@@ -1,0 +1,543 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"webbase"
+	"webbase/internal/relation"
+)
+
+// Meta is the stream's opening event: the request identity, the answer
+// schema, and the consistency token resumes present back to the server.
+type Meta struct {
+	RequestID   string
+	Query       string
+	Schema      []string
+	ResumeToken string
+}
+
+// TrailerDegradation mirrors the trailer's degradation report.
+type TrailerDegradation struct {
+	Unavailable []webbase.SiteFailure `json:"unavailable"`
+	StaleServed int64                 `json:"stale_served"`
+	Report      string                `json:"report"`
+}
+
+// Trailer is the stream's closing event: the answer's totals and the
+// server-side QueryStats. On a resumed stream the totals cover the whole
+// answer, delivered prefix included, while Stats covers only the final
+// (resumed) execution.
+type Trailer struct {
+	Tuples      int
+	Objects     int
+	Skipped     []string
+	Degradation *TrailerDegradation
+	Stats       *webbase.QueryStats
+}
+
+// Stream iterates one query's answer in the bufio.Scanner style:
+//
+//	st, err := c.Query(ctx, "SELECT Make, Model WHERE ...")
+//	if err != nil { ... }
+//	defer st.Close()
+//	for st.Next() {
+//	    d := st.Delivery()
+//	    ... // d.Tuples, d.Failure, d.Skipped — plan order, duplicate-free
+//	}
+//	if err := st.Err(); err != nil { ... }
+//	trailer := st.Trailer() // non-nil iff Err() == nil
+//
+// The stream is self-healing: when the connection drops — mid-body,
+// between events, or because the server restarted — Next transparently
+// reconnects with capped exponential backoff and resumes from the last
+// delivered event, so the caller observes one uninterrupted, exactly-once
+// delivery sequence, byte-identical to an unbroken run. Reconnection
+// spends the same per-query attempt budget as the initial connect; when
+// it is exhausted, or the failure is one a retry cannot change, Next
+// returns false and Err reports the typed cause.
+//
+// A Stream is not safe for concurrent use.
+type Stream struct {
+	c     *Client
+	ctx   context.Context
+	query string
+	rid   string
+
+	attempts int
+	lastErr  error
+
+	resp     *http.Response
+	body     *bufio.Reader
+	cancel   context.CancelFunc // aborts the current attempt's request context
+	watchdog *time.Timer        // per-attempt first-event watchdog
+
+	meta    Meta
+	gotMeta bool
+	lastSeq int // highest delivery seq handed to the caller; the resume offset
+
+	cur     webbase.ObjectDelivery
+	trailer *Trailer
+	err     error
+	done    bool
+}
+
+// Meta returns the stream's opening event. Valid as soon as Query returns.
+func (s *Stream) Meta() Meta { return s.meta }
+
+// Delivery returns the current delivery. Valid after Next returns true,
+// until the next call to Next.
+func (s *Stream) Delivery() webbase.ObjectDelivery { return s.cur }
+
+// Trailer returns the closing event: non-nil exactly when the stream
+// ended cleanly (Next returned false and Err is nil).
+func (s *Stream) Trailer() *Trailer { return s.trailer }
+
+// Err returns the terminal error, nil for a clean end. Typed: match with
+// errors.Is against the package sentinels.
+func (s *Stream) Err() error { return s.err }
+
+// Attempts reports how many connection attempts the stream has used,
+// the initial connect included.
+func (s *Stream) Attempts() int { return s.attempts }
+
+// Close releases the stream's connection. Safe to call at any point and
+// more than once; iterating a closed stream returns false.
+func (s *Stream) Close() error {
+	s.closeBody()
+	if !s.done && s.err == nil {
+		s.err = fmt.Errorf("client: stream closed before completion")
+		s.done = true
+	}
+	return nil
+}
+
+// Next advances to the next delivery, transparently reconnecting and
+// resuming across dropped connections. It returns false at the trailer
+// (clean end) or on a terminal error — check Err to tell them apart.
+func (s *Stream) Next() bool {
+	if s.done {
+		return false
+	}
+	for {
+		line, err := s.readLine()
+		if err != nil {
+			if !s.recover(err) {
+				return false
+			}
+			continue
+		}
+		ev, err := parseEvent(line)
+		if err != nil {
+			s.terminate(err)
+			return false
+		}
+		switch ev.kind {
+		case "meta":
+			// A repeated meta (server replayed from scratch after the
+			// client lost state) carries nothing new; skip it.
+			continue
+		case "tuples", "unavailable", "skipped":
+			// Exactly-once guard: the server suppresses the acked prefix,
+			// but a delivery at or below the resume offset (a replay bug or
+			// a hostile server) must still never reach the caller twice.
+			if ev.delivery.Seq <= s.lastSeq {
+				continue
+			}
+			s.lastSeq = ev.delivery.Seq
+			s.cur = ev.delivery
+			return true
+		case "trailer":
+			s.trailer = ev.trailer
+			s.done = true
+			s.closeBody()
+			return false
+		case "error":
+			if !s.recover(ev.apiErr) {
+				return false
+			}
+			continue
+		default:
+			s.terminate(fmt.Errorf("%w: unknown event %q", ErrProtocol, ev.kind))
+			return false
+		}
+	}
+}
+
+// recover handles a mid-stream failure: reconnect-and-resume when the
+// failure class is retryable and budget remains, terminate otherwise.
+// Returns true when the stream is live again.
+func (s *Stream) recover(cause error) bool {
+	s.closeBody()
+	if s.ctx.Err() != nil {
+		// The caller gave up; the attempt-level cancel that surfaced as
+		// cause is just its echo.
+		s.terminate(ctxErr(s.ctx))
+		return false
+	}
+	if !retryable(cause) {
+		s.terminate(cause)
+		return false
+	}
+	s.lastErr = cause
+	if err := s.connect(); err != nil {
+		s.terminate(err)
+		return false
+	}
+	return true
+}
+
+func (s *Stream) terminate(err error) {
+	s.err = err
+	s.done = true
+	s.closeBody()
+}
+
+// connect runs the attempt loop until a live 200 stream is open (with
+// the meta event read, on a fresh stream) or the failure is terminal.
+// On reconnects it asks the server to resume from lastSeq.
+func (s *Stream) connect() error {
+	for {
+		if s.ctx.Err() != nil {
+			return ctxErr(s.ctx)
+		}
+		if s.attempts >= s.c.maxAttempts {
+			return fmt.Errorf("%w: %d attempts, last failure: %w", ErrRetriesExhausted, s.attempts, s.lastErr)
+		}
+		s.attempts++
+		if s.attempts > 1 {
+			if err := s.c.sleep(s.ctx, s.c.backoffDelay(s.rid, s.attempts)); err != nil {
+				return err
+			}
+		}
+		err := s.dial()
+		if err == nil {
+			return nil
+		}
+		s.lastErr = err
+		if s.ctx.Err() != nil {
+			return ctxErr(s.ctx)
+		}
+		if !retryable(err) {
+			return err
+		}
+	}
+}
+
+// dial makes one connection attempt: POST /query (with resume parameters
+// when a meta is held), expect a 200 NDJSON stream, and on a fresh stream
+// read the meta event. Any non-200 decodes to an *APIError.
+func (s *Stream) dial() error {
+	req := queryRequest{Query: s.query}
+	if s.gotMeta {
+		idx := s.lastSeq
+		req.LastEventIndex = &idx
+		req.ResumeToken = s.meta.ResumeToken
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("%w: encoding request: %v", ErrProtocol, err)
+	}
+
+	// The attempt context must outlive dial — the response body reads
+	// under it — so it is stored and canceled by closeBody, not deferred.
+	actx, cancel := context.WithCancel(s.ctx)
+	hreq, err := http.NewRequestWithContext(actx, http.MethodPost, s.c.baseURL+"/query", bytes.NewReader(payload))
+	if err != nil {
+		cancel()
+		return fmt.Errorf("%w: building request: %v", ErrProtocol, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("X-Request-Id", s.rid)
+	hreq.Header.Set("Accept-Encoding", "gzip")
+	if s.c.apiKey != "" {
+		hreq.Header.Set("Authorization", "Bearer "+s.c.apiKey)
+	}
+
+	// The watchdog bounds this attempt's time to first event; it is
+	// disarmed by the first successful read (here for a fresh stream's
+	// meta, in readLine for a resumed stream's first delivery).
+	if s.c.attemptTimeout > 0 {
+		s.watchdog = time.AfterFunc(s.c.attemptTimeout, cancel)
+	}
+	fail := func(err error) error {
+		s.stopWatchdog()
+		cancel()
+		return err
+	}
+
+	resp, err := s.c.hc.Do(hreq)
+	if err != nil {
+		return fail(fmt.Errorf("client: connecting: %w", err))
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return fail(decodeEnvelope(resp))
+	}
+	// Accept-Encoding was set explicitly, so the transport does not
+	// decompress for us; unwrap the stream here. gzip.NewReader reads the
+	// archive header, which the server flushes with its first event — a
+	// stall here is bounded by the attempt watchdog like any first read.
+	var events io.Reader = resp.Body
+	if strings.EqualFold(resp.Header.Get("Content-Encoding"), "gzip") {
+		zr, err := gzip.NewReader(resp.Body)
+		if err != nil {
+			resp.Body.Close()
+			return fail(fmt.Errorf("client: opening compressed stream: %w", err))
+		}
+		events = zr
+	}
+	s.resp = resp
+	s.cancel = cancel
+	s.body = bufio.NewReader(events)
+
+	if !s.gotMeta {
+		line, err := s.readLine()
+		if err != nil {
+			s.closeBody()
+			return err
+		}
+		ev, err := parseEvent(line)
+		if err != nil {
+			s.closeBody()
+			return err
+		}
+		if ev.kind != "meta" {
+			s.closeBody()
+			return fmt.Errorf("%w: stream opened with %q, want meta", ErrProtocol, ev.kind)
+		}
+		s.meta = *ev.meta
+		s.gotMeta = true
+	}
+	return nil
+}
+
+// readLine reads one NDJSON event line. EOF before a terminal event is a
+// truncated stream and surfaces as io.ErrUnexpectedEOF (retryable).
+func (s *Stream) readLine() ([]byte, error) {
+	if s.body == nil {
+		return nil, io.ErrUnexpectedEOF
+	}
+	line, err := s.body.ReadBytes('\n')
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	s.stopWatchdog()
+	return line, nil
+}
+
+func (s *Stream) stopWatchdog() {
+	if s.watchdog != nil {
+		s.watchdog.Stop()
+		s.watchdog = nil
+	}
+}
+
+func (s *Stream) closeBody() {
+	s.stopWatchdog()
+	if s.resp != nil {
+		s.resp.Body.Close()
+		s.resp = nil
+	}
+	if s.cancel != nil {
+		s.cancel()
+		s.cancel = nil
+	}
+	s.body = nil
+}
+
+// queryRequest is the JSON request body; the resume fields mirror the
+// server's Last-Event-Index / X-Resume-Token headers.
+type queryRequest struct {
+	Query          string `json:"query"`
+	LastEventIndex *int   `json:"last_event_index,omitempty"`
+	ResumeToken    string `json:"resume_token,omitempty"`
+}
+
+// wireError is the server's error payload, both envelope and event form.
+type wireError struct {
+	Code      string `json:"code"`
+	Status    int    `json:"status"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id"`
+}
+
+func (we wireError) api() *APIError {
+	return &APIError{Code: we.Code, Status: we.Status, Message: we.Message, RequestID: we.RequestID}
+}
+
+// decodeEnvelope turns a non-200 response into its *APIError.
+func decodeEnvelope(resp *http.Response) error {
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("client: reading error envelope: %w", err)
+	}
+	var env struct {
+		Error wireError `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil || env.Error.Code == "" {
+		return fmt.Errorf("%w: status %d with undecodable error envelope %q",
+			ErrProtocol, resp.StatusCode, truncate(raw, 200))
+	}
+	return env.Error.api()
+}
+
+// event is one parsed NDJSON line.
+type event struct {
+	kind     string
+	meta     *Meta
+	delivery webbase.ObjectDelivery
+	trailer  *Trailer
+	apiErr   *APIError
+}
+
+// parseEvent decodes one stream line. Numbers inside tuples decode via
+// json.Number so integer values stay integers.
+func parseEvent(line []byte) (event, error) {
+	var probe struct {
+		Event string `json:"event"`
+	}
+	if err := json.Unmarshal(line, &probe); err != nil || probe.Event == "" {
+		return event{}, fmt.Errorf("%w: undecodable event line %q", ErrProtocol, truncate(line, 200))
+	}
+	switch probe.Event {
+	case "meta":
+		var ev struct {
+			RequestID   string   `json:"request_id"`
+			Query       string   `json:"query"`
+			Schema      []string `json:"schema"`
+			ResumeToken string   `json:"resume_token"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return event{}, fmt.Errorf("%w: meta: %v", ErrProtocol, err)
+		}
+		return event{kind: "meta", meta: &Meta{
+			RequestID: ev.RequestID, Query: ev.Query, Schema: ev.Schema, ResumeToken: ev.ResumeToken,
+		}}, nil
+	case "tuples":
+		var ev struct {
+			Seq      int      `json:"seq"`
+			Index    int      `json:"index"`
+			Object   []string `json:"object"`
+			Buffered bool     `json:"buffered"`
+			Tuples   [][]any  `json:"tuples"`
+		}
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.UseNumber()
+		if err := dec.Decode(&ev); err != nil {
+			return event{}, fmt.Errorf("%w: tuples: %v", ErrProtocol, err)
+		}
+		tuples, err := decodeTuples(ev.Tuples)
+		if err != nil {
+			return event{}, err
+		}
+		return event{kind: "tuples", delivery: webbase.ObjectDelivery{
+			Seq: ev.Seq, Index: ev.Index, Object: ev.Object, Buffered: ev.Buffered, Tuples: tuples,
+		}}, nil
+	case "unavailable":
+		var ev struct {
+			Seq     int                 `json:"seq"`
+			Index   int                 `json:"index"`
+			Object  []string            `json:"object"`
+			Failure webbase.SiteFailure `json:"failure"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return event{}, fmt.Errorf("%w: unavailable: %v", ErrProtocol, err)
+		}
+		return event{kind: "unavailable", delivery: webbase.ObjectDelivery{
+			Seq: ev.Seq, Index: ev.Index, Object: ev.Object, Failure: &ev.Failure,
+		}}, nil
+	case "skipped":
+		var ev struct {
+			Seq    int      `json:"seq"`
+			Index  int      `json:"index"`
+			Object []string `json:"object"`
+			Reason string   `json:"reason"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return event{}, fmt.Errorf("%w: skipped: %v", ErrProtocol, err)
+		}
+		return event{kind: "skipped", delivery: webbase.ObjectDelivery{
+			Seq: ev.Seq, Index: ev.Index, Object: ev.Object, Skipped: ev.Reason,
+		}}, nil
+	case "trailer":
+		var ev struct {
+			Tuples      int                 `json:"tuples"`
+			Objects     int                 `json:"objects"`
+			Skipped     []string            `json:"skipped"`
+			Degradation *TrailerDegradation `json:"degradation"`
+			Stats       *webbase.QueryStats `json:"stats"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return event{}, fmt.Errorf("%w: trailer: %v", ErrProtocol, err)
+		}
+		return event{kind: "trailer", trailer: &Trailer{
+			Tuples: ev.Tuples, Objects: ev.Objects, Skipped: ev.Skipped,
+			Degradation: ev.Degradation, Stats: ev.Stats,
+		}}, nil
+	case "error":
+		var ev struct {
+			Error wireError `json:"error"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return event{}, fmt.Errorf("%w: error event: %v", ErrProtocol, err)
+		}
+		return event{kind: "error", apiErr: ev.Error.api()}, nil
+	default:
+		return event{kind: probe.Event}, nil
+	}
+}
+
+// decodeTuples converts wire tuples (JSON arrays of null/string/number/
+// bool) back into relation tuples. Numeric kinds normalize over the wire:
+// a float with an integral value (5.0) encodes as "5" and decodes as an
+// Int — the JSON number grammar carries no float/int distinction for
+// integral values.
+func decodeTuples(rows [][]any) ([]relation.Tuple, error) {
+	out := make([]relation.Tuple, len(rows))
+	for i, row := range rows {
+		t := make(relation.Tuple, len(row))
+		for j, v := range row {
+			switch x := v.(type) {
+			case nil:
+				t[j] = relation.Null()
+			case string:
+				t[j] = relation.String(x)
+			case bool:
+				t[j] = relation.Bool(x)
+			case json.Number:
+				if n, err := x.Int64(); err == nil && !strings.ContainsAny(x.String(), ".eE") {
+					t[j] = relation.Int(n)
+				} else {
+					f, err := x.Float64()
+					if err != nil {
+						return nil, fmt.Errorf("%w: bad number %q in tuple", ErrProtocol, x.String())
+					}
+					t[j] = relation.Float(f)
+				}
+			default:
+				return nil, fmt.Errorf("%w: unexpected tuple value of type %T", ErrProtocol, v)
+			}
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "..."
+}

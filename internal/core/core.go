@@ -145,6 +145,14 @@ type Config struct {
 	// rather than failing assembly or any query. Empty disables
 	// persistence (the historical behavior).
 	StateDir string
+	// StateMaxBytes bounds the durable page tier's total payload bytes
+	// (Config.StateDir): beyond it the least-recently-touched persisted
+	// pages are evicted, counted in store_evicted_total{tier="pages"}.
+	// The bound is rebuilt from disk at boot, so it holds across restarts
+	// (a tightened bound trims the tier immediately). 0 keeps the tier
+	// unbounded (the historical behavior). An evicted page is a future
+	// cache miss, never an error — the tier stays strictly a cache.
+	StateMaxBytes int64
 	// RecoveryBackoff, when > 0, gives repair-exhausted quarantined sites
 	// a slow background re-probe with doubling backoff, so a permanently-
 	// quarantined-then-fixed site eventually heals without a restart. 0
@@ -323,7 +331,7 @@ func NewDomain(cfg Config, d Domain) (*Webbase, error) {
 		wb.cache.AllowStale = cfg.AllowStale
 		wb.cache.Clock = cfg.Clock
 		if wb.store != nil {
-			wb.pageTier = store.NewPageTier(wb.store)
+			wb.pageTier = store.NewPageTier(wb.store, cfg.StateMaxBytes)
 			wb.cache.Tier = wb.pageTier
 		}
 		f = web.WithCache(f, wb.cache)

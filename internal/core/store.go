@@ -10,7 +10,10 @@ package core
 // metric as file-level ones.
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"fmt"
 
 	"webbase/internal/health"
 	"webbase/internal/navmap"
@@ -128,6 +131,39 @@ func (wb *Webbase) restoreHealth() {
 		return
 	}
 	wb.health.Restore(snap)
+}
+
+// ConsistencyToken fingerprints the webbase state a streamed answer is a
+// function of: the page-cache clear-generation and every relation's
+// navigation-map version and fingerprint. Two queries observing the same
+// token ran against the same web view, so a stream interrupted under one
+// token can be resumed by re-execution under the same token and stitch to
+// a byte-identical event sequence; a changed token means the answers
+// could differ and the resume must be refused rather than spliced.
+//
+// With a state dir the durable page-tier generation is used (it survives
+// restarts, so a warm-restarted process keeps its token); without one the
+// in-memory cache generation stands in, and restored map versions default
+// back to 1 — a cold restart deliberately changes the token, because a
+// process that forgot its healed maps can no longer promise the same
+// answer bytes.
+func (wb *Webbase) ConsistencyToken() string {
+	h := sha256.New()
+	gen := uint64(0)
+	switch {
+	case wb.pageTier != nil:
+		gen = wb.pageTier.Generation()
+	case wb.cache != nil:
+		gen = wb.cache.Generation()
+	}
+	fmt.Fprintf(h, "cache-gen=%d\n", gen)
+	// Relations() is sorted by name, so the digest is deterministic.
+	for _, ri := range wb.Registry.Relations() {
+		v, fp := wb.Registry.MapVersion(ri.Name)
+		fmt.Fprintf(h, "map=%s:%d:%s\n", ri.Name, v, fp)
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:12])
 }
 
 // FlushState forces every dirty durable-tier write to disk: queued page

@@ -32,6 +32,7 @@ import (
 	"log"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -125,7 +126,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	s.count("server_queries_total", tenant.Name)
 
-	text, err := readQueryText(r.Body, s.maxBody)
+	text, qr, err := readQueryRequest(r.Body, s.maxBody)
 	if err != nil {
 		s.fail(w, rid, tenant, err)
 		return
@@ -135,9 +136,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, rid, tenant, badQuery(err))
 		return
 	}
+	resume, err := parseResume(r, qr)
+	if err != nil {
+		s.fail(w, rid, tenant, err)
+		return
+	}
+
+	// The consistency token fingerprints the web view the stream's bytes
+	// are a function of. A resume presenting a stale token would stitch
+	// answers from two different webs — refuse it rather than splice.
+	token := s.sys.ConsistencyToken()
+	resumeFrom := -1
+	if resume != nil {
+		if resume.token != token {
+			s.fail(w, rid, tenant, fmt.Errorf("%w: stream was %s, web is now %s",
+				errResumeInconsistent, resume.token, token))
+			return
+		}
+		resumeFrom = resume.lastIndex
+	}
 
 	ctx := core.WithQueryClass(r.Context(), tenant.Class)
-	sw := newStreamWriter(w, rid, q.String(), q.Output)
+	sw := newStreamWriter(w, rid, q.String(), q.Output, token, resumeFrom, gzipAccepted(r))
 	res, qs, tr, err := s.sys.QueryStreamTraced(ctx, q, sw.writeDelivery)
 	if tr != nil {
 		// Request identity on the root span: a Label, not a Set, because
@@ -158,6 +178,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sw.writeTrailer(res, qs)
+	if resumeFrom >= 0 {
+		// Resume accounting: the query ran again end to end, but the
+		// already-delivered prefix was acked, not re-sent.
+		s.count("server_resumes_total", tenant.Name)
+		s.sys.Metrics().Counter("server_resume_skipped_total").Add(int64(sw.skipped))
+	}
 	s.count("server_queries_served_total", tenant.Name)
 	s.logger.Printf("req=%s tenant=%s status=200 tuples=%d objects=%d elapsed=%s query=%q",
 		rid, tenant.Name, res.Relation.Len(), len(res.Plan.Objects), qs.Elapsed, text)
@@ -173,10 +199,16 @@ func (s *Server) fail(w http.ResponseWriter, rid string, tenant Tenant, err erro
 
 // handleMetrics renders the webbase registry — every in-process counter,
 // gauge and histogram plus the server's per-tenant accounting — in the
-// registry's sorted text format.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// registry's sorted text format. Compressed when the client accepts gzip;
+// the decompressed bytes are identical either way.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	body := []byte(s.sys.Metrics().Snapshot().String())
+	if gzipAccepted(r) {
+		writeGzipped(w, http.StatusOK, "text/plain; charset=utf-8", body)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, s.sys.Metrics().Snapshot().String())
+	w.Write(body)
 }
 
 // healthzResponse is the GET /healthz body.
@@ -233,6 +265,21 @@ func badQuery(err error) error { return &parseError{err: err} }
 // errBodyTooLarge is returned when the request body exceeds the bound.
 var errBodyTooLarge = errors.New("server: request body too large")
 
+// errResumeInconsistent refuses a resume whose token no longer matches
+// the current web view (a cache clear or a map swap happened since the
+// stream began). Re-running would not reproduce the delivered prefix, so
+// splicing is unsound; the client must restart the query from scratch.
+var errResumeInconsistent = errors.New("server: resume token does not match the current web state")
+
+// resumeError tags malformed resume parameters so errorBody maps them to
+// 400 bad-resume rather than bad-query.
+type resumeError struct{ err error }
+
+func (e *resumeError) Error() string { return e.err.Error() }
+func (e *resumeError) Unwrap() error { return e.err }
+
+func badResume(err error) error { return &resumeError{err: err} }
+
 // errorBody maps the error taxonomy onto the wire: status code + stable
 // machine-readable code. Order matters — a strict-mode budget error is
 // classified both budget-exhausted and outage, and 504 (the caller's
@@ -240,6 +287,7 @@ var errBodyTooLarge = errors.New("server: request body too large")
 func (s *Server) errorBody(rid string, err error) errorBody {
 	status, code := http.StatusInternalServerError, "internal"
 	var pe *parseError
+	var re *resumeError
 	switch {
 	case errors.Is(err, errUnknownKey):
 		status, code = http.StatusUnauthorized, "unauthorized"
@@ -251,6 +299,10 @@ func (s *Server) errorBody(rid string, err error) errorBody {
 		status, code = http.StatusTooManyRequests, "shedded"
 	case errors.Is(err, errBodyTooLarge):
 		status, code = http.StatusRequestEntityTooLarge, "body-too-large"
+	case errors.Is(err, errResumeInconsistent):
+		status, code = http.StatusConflict, "resume-inconsistent"
+	case errors.As(err, &re):
+		status, code = http.StatusBadRequest, "bad-resume"
 	case errors.As(err, &pe),
 		errors.Is(err, ur.ErrBadQuery),
 		errors.Is(err, ur.ErrUnknownAttribute),
@@ -284,34 +336,83 @@ func writeEnvelope(w http.ResponseWriter, body errorBody) {
 	json.NewEncoder(w).Encode(errorEnvelope{Error: body})
 }
 
-// queryRequest is the JSON form of a query body.
+// queryRequest is the JSON form of a query body. The two resume fields
+// mirror the Last-Event-Index / X-Resume-Token headers for clients that
+// prefer everything in the body.
 type queryRequest struct {
-	Query string `json:"query"`
+	Query          string `json:"query"`
+	LastEventIndex *int   `json:"last_event_index,omitempty"`
+	ResumeToken    string `json:"resume_token,omitempty"`
 }
 
-// readQueryText extracts the UR query text from the body: either a JSON
-// envelope {"query":"SELECT ..."} or the raw query text itself,
-// distinguished by the first non-space byte.
-func readQueryText(body io.Reader, maxBody int64) (string, error) {
+// readQueryRequest extracts the UR query text from the body: either a
+// JSON envelope {"query":"SELECT ..."} or the raw query text itself,
+// distinguished by the first non-space byte. For JSON bodies the parsed
+// envelope is also returned so resume fields can be read from it.
+func readQueryRequest(body io.Reader, maxBody int64) (string, *queryRequest, error) {
 	raw, err := io.ReadAll(io.LimitReader(body, maxBody+1))
 	if err != nil {
-		return "", badQuery(fmt.Errorf("server: reading request body: %w", err))
+		return "", nil, badQuery(fmt.Errorf("server: reading request body: %w", err))
 	}
 	if int64(len(raw)) > maxBody {
-		return "", errBodyTooLarge
+		return "", nil, errBodyTooLarge
 	}
 	text := strings.TrimSpace(string(raw))
+	var envelope *queryRequest
 	if strings.HasPrefix(text, "{") {
 		var qr queryRequest
 		if err := json.Unmarshal([]byte(text), &qr); err != nil {
-			return "", badQuery(fmt.Errorf("server: decoding JSON query body: %w", err))
+			return "", nil, badQuery(fmt.Errorf("server: decoding JSON query body: %w", err))
 		}
+		envelope = &qr
 		text = qr.Query
 	}
 	if text == "" {
-		return "", badQuery(errors.New("server: empty query"))
+		return "", nil, badQuery(errors.New("server: empty query"))
 	}
-	return text, nil
+	return text, envelope, nil
+}
+
+// resumeSpec is a validated resume request: the last event index the
+// client received and the stream's original consistency token.
+type resumeSpec struct {
+	lastIndex int
+	token     string
+}
+
+// parseResume reads the resume parameters from headers (which win) or
+// the JSON body envelope. No parameters at all means a fresh stream
+// (nil, nil); a half-specified or malformed resume is a 400 bad-resume.
+func parseResume(r *http.Request, qr *queryRequest) (*resumeSpec, error) {
+	var lastIndex *int
+	if h := r.Header.Get("Last-Event-Index"); h != "" {
+		n, err := strconv.Atoi(h)
+		if err != nil || n < 0 {
+			return nil, badResume(fmt.Errorf("server: Last-Event-Index %q is not a non-negative integer", h))
+		}
+		lastIndex = &n
+	}
+	token := r.Header.Get("X-Resume-Token")
+	if qr != nil {
+		if lastIndex == nil && qr.LastEventIndex != nil {
+			if *qr.LastEventIndex < 0 {
+				return nil, badResume(fmt.Errorf("server: last_event_index %d is negative", *qr.LastEventIndex))
+			}
+			lastIndex = qr.LastEventIndex
+		}
+		if token == "" {
+			token = qr.ResumeToken
+		}
+	}
+	switch {
+	case lastIndex == nil && token == "":
+		return nil, nil
+	case lastIndex == nil:
+		return nil, badResume(errors.New("server: resume token without a last event index"))
+	case token == "":
+		return nil, badResume(errors.New("server: resume requires the stream's resume_token"))
+	}
+	return &resumeSpec{lastIndex: *lastIndex, token: token}, nil
 }
 
 // tenantLabel names a tenant in log lines, tolerating the zero Tenant an

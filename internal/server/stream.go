@@ -1,6 +1,7 @@
 package server
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"net/http"
 
@@ -12,22 +13,40 @@ import (
 // The NDJSON wire protocol: one JSON object per line, flushed as
 // produced. A successful stream is
 //
-//	{"event":"meta", ...}
-//	{"event":"tuples"|"unavailable"|"skipped", ...}   // one per maximal object, plan order
-//	{"event":"trailer", ...}
+//	{"event":"meta","seq":0, ...}
+//	{"event":"tuples"|"unavailable"|"skipped","seq":1..N, ...}   // one per maximal object, plan order
+//	{"event":"trailer","seq":N+1, ...}
 //
 // and a query that fails after streaming began ends with an
 // {"event":"error", ...} line instead of the trailer. A query that
 // fails before anything streamed gets a plain JSON error envelope with
 // an accurate status code (see writeEnvelope); the stream path is
 // committed to 200 only once the first event is written.
+//
+// Every event carries a deterministic sequence number: deliveries are
+// released by the UR layer's plan-order gate, so seq k names the same
+// event bytes on every execution of the same query against the same web
+// state. That makes the stream resumable — a client that received events
+// through seq k repeats the request with Last-Event-Index: k and the
+// original meta event's resume_token, and the server re-executes the
+// query with events seq <= k suppressed (acked, not re-sent). The
+// stitched sequence is byte-identical to an uninterrupted run; if the
+// token no longer matches (a cache clear or a map swap changed the web
+// view), the resume is refused with 409 resume-inconsistent instead of
+// splicing answers from two different webs.
 
-// metaEvent opens a stream: the request identity and the answer schema.
+// metaEvent opens a stream: the request identity, the answer schema, and
+// the consistency token a resume must present.
 type metaEvent struct {
 	Event     string   `json:"event"` // "meta"
+	Seq       int      `json:"seq"`   // always 0
 	RequestID string   `json:"request_id"`
 	Query     string   `json:"query"`
 	Schema    []string `json:"schema"`
+	// ResumeToken fingerprints the web view (cache generation + map
+	// versions) this stream's bytes are a function of. A reconnecting
+	// client echoes it in X-Resume-Token.
+	ResumeToken string `json:"resume_token"`
 }
 
 // tuplesEvent carries one maximal object's new unique tuples — or, for
@@ -35,6 +54,7 @@ type metaEvent struct {
 // answer at once.
 type tuplesEvent struct {
 	Event    string   `json:"event"` // "tuples"
+	Seq      int      `json:"seq"`
 	Index    int      `json:"index"`
 	Object   []string `json:"object,omitempty"`
 	Buffered bool     `json:"buffered,omitempty"`
@@ -45,6 +65,7 @@ type tuplesEvent struct {
 // unavailableEvent reports a maximal object degraded out of the answer.
 type unavailableEvent struct {
 	Event   string         `json:"event"` // "unavailable"
+	Seq     int            `json:"seq"`
 	Index   int            `json:"index"`
 	Object  []string       `json:"object"`
 	Failure ur.SiteFailure `json:"failure"`
@@ -53,6 +74,7 @@ type unavailableEvent struct {
 // skippedEvent reports a maximal object skipped on binding grounds.
 type skippedEvent struct {
 	Event  string   `json:"event"` // "skipped"
+	Seq    int      `json:"seq"`
 	Index  int      `json:"index"`
 	Object []string `json:"object"`
 	Reason string   `json:"reason"`
@@ -70,6 +92,7 @@ type errorBody struct {
 // errorEvent ends a stream that failed after its 200 was committed.
 type errorEvent struct {
 	Event string    `json:"event"` // "error"
+	Seq   int       `json:"seq"`
 	Error errorBody `json:"error"`
 }
 
@@ -77,6 +100,7 @@ type errorEvent struct {
 // in-process caller would have gotten from Result and QueryStats.
 type trailerEvent struct {
 	Event   string   `json:"event"` // "trailer"
+	Seq     int      `json:"seq"`
 	Tuples  int      `json:"tuples"`
 	Objects int      `json:"objects"`
 	Skipped []string `json:"skipped,omitempty"`
@@ -97,25 +121,41 @@ type degradationReport struct {
 // already serialized — deliveries come through the plan-order gate and
 // the trailer is written after evaluation joins its workers — so the
 // writer needs no lock of its own.
+//
+// resumeFrom >= 0 turns the writer into the suppressed tail of a resumed
+// stream: the meta event and every delivery with seq <= resumeFrom are
+// acked (counted in skipped) but not re-sent, while sequence numbering
+// continues exactly as in an uninterrupted run. Terminal events (trailer,
+// error) are never suppressed — a resume means the client did not see the
+// stream end.
 type streamWriter struct {
 	w       http.ResponseWriter
 	flusher http.Flusher
+	gz      *gzip.Writer
 	enc     *json.Encoder
 	meta    metaEvent
 	started bool
+
+	resumeFrom int // suppress events with seq <= resumeFrom; -1 = fresh stream
+	lastSeq    int // highest delivery seq observed, sent or suppressed
+	skipped    int // events suppressed by resume (meta included)
+	useGzip    bool
 }
 
-func newStreamWriter(w http.ResponseWriter, rid, query string, schema []string) *streamWriter {
+func newStreamWriter(w http.ResponseWriter, rid, query string, schema []string, token string, resumeFrom int, useGzip bool) *streamWriter {
 	f, _ := w.(http.Flusher)
 	return &streamWriter{
 		w: w, flusher: f, enc: json.NewEncoder(w),
-		meta: metaEvent{Event: "meta", RequestID: rid, Query: query, Schema: schema},
+		meta:       metaEvent{Event: "meta", Seq: 0, RequestID: rid, Query: query, Schema: schema, ResumeToken: token},
+		resumeFrom: resumeFrom,
+		useGzip:    useGzip,
 	}
 }
 
 // start commits the response to a 200 NDJSON stream and emits the meta
-// event. Idempotent; called lazily by the first event so pre-stream
-// failures can still use a proper status code.
+// event (suppressed on a resume — the client has it). Idempotent; called
+// lazily by the first event so pre-stream failures can still use a
+// proper status code.
 func (sw *streamWriter) start() {
 	if sw.started {
 		return
@@ -123,36 +163,72 @@ func (sw *streamWriter) start() {
 	sw.started = true
 	sw.w.Header().Set("Content-Type", "application/x-ndjson")
 	sw.w.Header().Set("X-Request-Id", sw.meta.RequestID)
+	if sw.useGzip {
+		sw.w.Header().Set("Content-Encoding", "gzip")
+		sw.w.Header().Set("Vary", "Accept-Encoding")
+	}
 	sw.w.WriteHeader(http.StatusOK)
+	if sw.useGzip {
+		sw.gz = gzip.NewWriter(sw.w)
+		sw.enc = json.NewEncoder(sw.gz)
+	}
+	if sw.resumeFrom >= 0 {
+		sw.skipped++ // the meta event, seq 0, already delivered originally
+		return
+	}
 	sw.emit(sw.meta)
 }
 
 func (sw *streamWriter) emit(event any) {
 	sw.enc.Encode(event) // an aborted client surfaces at the next write; nothing to do here
+	if sw.gz != nil {
+		// Push the event out of the compressor: resumability depends on the
+		// client seeing each event as soon as it exists, compressed or not.
+		sw.gz.Flush()
+	}
 	if sw.flusher != nil {
 		sw.flusher.Flush()
 	}
 }
 
-// writeDelivery ships one gate delivery as its wire event.
+// finish closes the compression layer (if any) after the terminal event.
+func (sw *streamWriter) finish() {
+	if sw.gz != nil {
+		sw.gz.Close()
+	}
+}
+
+// writeDelivery ships one gate delivery as its wire event. Deliveries at
+// or before the resume offset were already delivered to this client by a
+// previous attempt: they are acked but not re-sent.
 func (sw *streamWriter) writeDelivery(d ur.ObjectDelivery) {
 	sw.start()
+	if d.Seq > sw.lastSeq {
+		sw.lastSeq = d.Seq
+	}
+	if sw.resumeFrom >= 0 && d.Seq <= sw.resumeFrom {
+		sw.skipped++
+		return
+	}
 	switch {
 	case d.Failure != nil:
-		sw.emit(unavailableEvent{Event: "unavailable", Index: d.Index, Object: d.Object, Failure: *d.Failure})
+		sw.emit(unavailableEvent{Event: "unavailable", Seq: d.Seq, Index: d.Index, Object: d.Object, Failure: *d.Failure})
 	case d.Skipped != "":
-		sw.emit(skippedEvent{Event: "skipped", Index: d.Index, Object: d.Object, Reason: d.Skipped})
+		sw.emit(skippedEvent{Event: "skipped", Seq: d.Seq, Index: d.Index, Object: d.Object, Reason: d.Skipped})
 	default:
-		sw.emit(tuplesEvent{Event: "tuples", Index: d.Index, Object: d.Object,
+		sw.emit(tuplesEvent{Event: "tuples", Seq: d.Seq, Index: d.Index, Object: d.Object,
 			Buffered: d.Buffered, Count: len(d.Tuples), Tuples: encodeTuples(d.Tuples)})
 	}
 }
 
-// writeTrailer closes a successful stream.
+// writeTrailer closes a successful stream. The trailer's sequence number
+// continues the delivery numbering — suppressed deliveries count — so a
+// stitched resumed stream is numbered exactly like an uninterrupted one.
 func (sw *streamWriter) writeTrailer(res *ur.Result, qs *core.QueryStats) {
 	sw.start()
 	ev := trailerEvent{
 		Event:   "trailer",
+		Seq:     sw.lastSeq + 1,
 		Tuples:  res.Relation.Len(),
 		Objects: len(res.Plan.Objects),
 		Skipped: res.Skipped,
@@ -166,12 +242,14 @@ func (sw *streamWriter) writeTrailer(res *ur.Result, qs *core.QueryStats) {
 		}
 	}
 	sw.emit(ev)
+	sw.finish()
 }
 
 // writeErrorEvent ends a stream whose query failed after events were
 // already written.
 func (sw *streamWriter) writeErrorEvent(body errorBody) {
-	sw.emit(errorEvent{Event: "error", Error: body})
+	sw.emit(errorEvent{Event: "error", Seq: sw.lastSeq + 1, Error: body})
+	sw.finish()
 }
 
 // encodeTuples renders tuples as JSON arrays of native values (null,
@@ -197,4 +275,71 @@ func encodeTuples(ts []relation.Tuple) [][]any {
 		out[i] = row
 	}
 	return out
+}
+
+// gzipAccepted reports whether the request allows a gzip response body.
+func gzipAccepted(r *http.Request) bool {
+	for _, enc := range r.Header.Values("Accept-Encoding") {
+		for _, part := range splitComma(enc) {
+			if part == "gzip" || hasPrefixFold(part, "gzip;") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			part := trimSpace(s[start:i])
+			if part != "" {
+				out = append(out, part)
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func trimSpace(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+func hasPrefixFold(s, prefix string) bool {
+	if len(s) < len(prefix) {
+		return false
+	}
+	for i := 0; i < len(prefix); i++ {
+		a, b := s[i], prefix[i]
+		if 'A' <= a && a <= 'Z' {
+			a += 'a' - 'A'
+		}
+		if 'A' <= b && b <= 'Z' {
+			b += 'a' - 'A'
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// gzipWriter compresses one non-streaming response (GET /metrics).
+func writeGzipped(w http.ResponseWriter, status int, contentType string, body []byte) {
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Encoding", "gzip")
+	w.Header().Set("Vary", "Accept-Encoding")
+	w.WriteHeader(status)
+	gz := gzip.NewWriter(w)
+	gz.Write(body)
+	gz.Close()
 }

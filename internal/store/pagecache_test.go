@@ -17,7 +17,7 @@ func pageTierOver(t *testing.T, dir string) (*PageTier, *Store) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pt := NewPageTier(s)
+	pt := NewPageTier(s, 0)
 	t.Cleanup(pt.Close)
 	return pt, s
 }
@@ -126,4 +126,129 @@ func TestPageTierStoreAfterCloseIsNoop(t *testing.T) {
 	pt.Store("k", web.HTML("http://x.test/", "late"), time.Unix(1, 0)) // must not panic
 	pt.Flush()                                                         // must not hang
 	pt.Invalidate()
+}
+
+func boundedTier(t *testing.T, dir string, maxBytes int64) (*PageTier, *trace.Registry) {
+	t.Helper()
+	reg := trace.NewRegistry()
+	s, err := Open(dir, Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := NewPageTier(s, maxBytes)
+	t.Cleanup(pt.Close)
+	return pt, reg
+}
+
+// pageOfSize builds pages whose persisted payloads are byte-identical in
+// size, so eviction arithmetic in the tests is exact.
+func pageOfSize(tag string) *web.Response {
+	return &web.Response{Status: 200, URL: "http://x.test/" + tag, Body: bytes.Repeat([]byte(tag), 400)}
+}
+
+func payloadSize(t *testing.T) int64 {
+	t.Helper()
+	dir := t.TempDir()
+	pt, _ := boundedTier(t, dir, 0)
+	pt.Store("probe", pageOfSize("p"), time.Unix(1, 0))
+	pt.Flush()
+	s, err := Open(dir, Options{Metrics: trace.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _, err := s.Get(pagesTier, "probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int64(len(payload))
+}
+
+// TestPageTierEvictsLeastRecentlyUsed: with a bound that fits two pages,
+// storing a third evicts the least-recently-touched one — and a Load
+// counts as a touch, so reading a page protects it.
+func TestPageTierEvictsLeastRecentlyUsed(t *testing.T) {
+	size := payloadSize(t)
+	pt, reg := boundedTier(t, t.TempDir(), 2*size+size/2)
+
+	pt.Store("a", pageOfSize("a"), time.Unix(1, 0))
+	pt.Store("b", pageOfSize("b"), time.Unix(2, 0))
+	pt.Flush()
+	if _, _, ok := pt.Load("a"); !ok { // touch a: b becomes the LRU victim
+		t.Fatal("page a missing before any eviction")
+	}
+	pt.Store("c", pageOfSize("c"), time.Unix(3, 0))
+	pt.Flush()
+
+	if _, _, ok := pt.Load("b"); ok {
+		t.Fatal("LRU victim b survived past the bound")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, _, ok := pt.Load(k); !ok {
+			t.Fatalf("page %s evicted though it was not the LRU victim", k)
+		}
+	}
+	if n := reg.Counter(`store_evicted_total{tier="pages"}`).Value(); n != 1 {
+		t.Fatalf("store_evicted_total{tier=pages} = %d, want 1", n)
+	}
+	if n := reg.Counter("store_evicted_total").Value(); n != 1 {
+		t.Fatalf("store_evicted_total = %d, want 1", n)
+	}
+}
+
+// TestPageTierBoundHoldsAcrossRestart: an unbounded tier accumulates four
+// pages; reopening it with a two-page bound trims the stalest-fetched
+// pages at boot. The bound is a property of the directory's contents, not
+// of one process's in-memory index.
+func TestPageTierBoundHoldsAcrossRestart(t *testing.T) {
+	size := payloadSize(t)
+	dir := t.TempDir()
+	pt, _ := boundedTier(t, dir, 0)
+	for i, k := range []string{"w", "x", "y", "z"} {
+		pt.Store(k, pageOfSize(k), time.Unix(int64(i+1), 0))
+	}
+	pt.Flush()
+	pt.Close()
+
+	pt2, reg := boundedTier(t, dir, 2*size+size/2)
+	for _, k := range []string{"w", "x"} { // oldest fetch times evict first
+		if _, _, ok := pt2.Load(k); ok {
+			t.Fatalf("stale page %s survived the boot-time trim", k)
+		}
+	}
+	for _, k := range []string{"y", "z"} {
+		if _, _, ok := pt2.Load(k); !ok {
+			t.Fatalf("fresh page %s lost by the boot-time trim", k)
+		}
+	}
+	if n := reg.Counter(`store_evicted_total{tier="pages"}`).Value(); n != 2 {
+		t.Fatalf("store_evicted_total{tier=pages} = %d, want 2", n)
+	}
+
+	// The rebuilt index keeps enforcing the bound for new writes.
+	pt2.Store("q", pageOfSize("q"), time.Unix(9, 0))
+	pt2.Flush()
+	if _, _, ok := pt2.Load("y"); ok {
+		t.Fatal("post-restart write did not evict the rebuilt-index LRU victim")
+	}
+	if _, _, ok := pt2.Load("q"); !ok {
+		t.Fatal("post-restart write itself missing")
+	}
+	if n := reg.Counter(`store_evicted_total{tier="pages"}`).Value(); n != 3 {
+		t.Fatalf("store_evicted_total{tier=pages} after restart write = %d, want 3", n)
+	}
+}
+
+// TestPageTierOversizeEntryEvicted: the bound is absolute — a single
+// entry larger than the whole budget does not take up residence.
+func TestPageTierOversizeEntryEvicted(t *testing.T) {
+	size := payloadSize(t)
+	pt, reg := boundedTier(t, t.TempDir(), size/2)
+	pt.Store("big", pageOfSize("b"), time.Unix(1, 0))
+	pt.Flush()
+	if _, _, ok := pt.Load("big"); ok {
+		t.Fatal("entry larger than the tier bound survived")
+	}
+	if n := reg.Counter(`store_evicted_total{tier="pages"}`).Value(); n != 1 {
+		t.Fatalf("store_evicted_total{tier=pages} = %d, want 1", n)
+	}
 }

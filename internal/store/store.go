@@ -187,6 +187,17 @@ func (s *Store) CountCorrupt(tier string) {
 	s.metrics.Counter(`store_corrupt_total{tier="` + tier + `"}`).Add(1)
 }
 
+// countEvicted counts one size-bound eviction against a tier
+// (store_evicted_total{tier=...}). Registered lazily, so a store without
+// size bounds renders the historical /metrics page byte-identically.
+func (s *Store) countEvicted(tier string) {
+	if s == nil || s.metrics == nil {
+		return
+	}
+	s.metrics.Counter("store_evicted_total").Add(1)
+	s.metrics.Counter(`store_evicted_total{tier="` + tier + `"}`).Add(1)
+}
+
 func (s *Store) countWriteFailed(tier string) {
 	if s.metrics == nil {
 		return

@@ -548,7 +548,7 @@ func (s *Schema) EvalStream(ctx context.Context, q Query, cat algebra.Catalog, s
 		res.Relation = res.Relation.Limit(q.Limit)
 	}
 	if sink != nil && buffered {
-		sink(ObjectDelivery{Index: -1, Buffered: true, Tuples: res.Relation.Tuples()})
+		sink(ObjectDelivery{Index: -1, Seq: 1, Buffered: true, Tuples: res.Relation.Tuples()})
 	}
 	return res, nil
 }

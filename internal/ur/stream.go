@@ -31,6 +31,13 @@ type ObjectDelivery struct {
 	// Index is the object's plan-order position, or -1 for the single
 	// buffered terminal delivery of an ORDER BY / LIMIT query.
 	Index int
+	// Seq is the delivery's 1-based position in the delivery sequence.
+	// Deliveries are released in plan order, so Seq is deterministic for a
+	// given query and web state whatever the worker count — it is the
+	// resumable-stream offset: a consumer that has processed deliveries
+	// through Seq k can re-run the query and skip everything with Seq <= k,
+	// and the stitched sequence is identical to an uninterrupted run.
+	Seq int
 	// Object is the minimal-cover relation set that was evaluated (empty
 	// for the buffered terminal delivery).
 	Object []string
@@ -110,7 +117,9 @@ func (g *streamGate) complete(i int, rel *relation.Relation, err error) {
 // post-loop does and emits the matching delivery. A fatal error (neither
 // a binding failure nor a degradable outage/drift) aborts the stream:
 // the query is going to return an error and no further objects are
-// observable parts of the answer.
+// observable parts of the answer. Exactly one delivery is emitted per
+// plan-order object, so the sequence number is simply i+1 — the
+// plan-order index shifted to leave 0 for a stream's preamble.
 func (g *streamGate) deliver(i int, e *gateEntry) {
 	obj := g.objects[i]
 	switch {
@@ -124,16 +133,16 @@ func (g *streamGate) deliver(i int, e *gateEntry) {
 				}
 			}
 		}
-		g.sink(ObjectDelivery{Index: i, Object: obj.Relations, Tuples: fresh})
+		g.sink(ObjectDelivery{Index: i, Seq: i + 1, Object: obj.Relations, Tuples: fresh})
 	case isBindingFailure(e.err):
-		g.sink(ObjectDelivery{Index: i, Object: obj.Relations,
+		g.sink(ObjectDelivery{Index: i, Seq: i + 1, Object: obj.Relations,
 			Skipped: fmt.Sprintf("{%s}: %v", strings.Join(obj.Relations, ", "), e.err)})
 	case (web.IsOutage(e.err) || web.IsDrift(e.err)) && !g.strict:
 		kind := FailureOutage
 		if web.IsDrift(e.err) {
 			kind = FailureDrift
 		}
-		g.sink(ObjectDelivery{Index: i, Object: obj.Relations, Failure: &SiteFailure{
+		g.sink(ObjectDelivery{Index: i, Seq: i + 1, Object: obj.Relations, Failure: &SiteFailure{
 			Object: obj.Relations,
 			Host:   web.FailingHost(e.err),
 			Kind:   kind,

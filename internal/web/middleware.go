@@ -285,6 +285,17 @@ func (c *Cache) Stale() int64 { return c.stale.Load() }
 // instead of the network (also counted in Hits).
 func (c *Cache) TierHits() int64 { return c.tierHits.Load() }
 
+// Generation reports how many times the cache has been cleared. Each
+// Clear invalidates every page the system had seen, so the generation is
+// a cheap staleness guard: two observations under the same generation
+// were answered from the same set of pages (a resumed query stream uses
+// this to refuse splicing answers from two different webs).
+func (c *Cache) Generation() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.gen
+}
+
 // Len returns the number of cached responses.
 func (c *Cache) Len() int {
 	c.mu.RLock()

@@ -10,11 +10,25 @@
 // exponential backoff and deterministic jitter, and the repeated request
 // carries the stream's resume offset and consistency token, so the
 // server suppresses the already-delivered prefix and the caller observes
-// one uninterrupted, byte-identical answer. When the web view changed in
-// between (the server refuses with resume-inconsistent), or the failure
-// is one a retry cannot change (bad query, quota, strict-mode outage),
-// iteration stops with a typed error that mirrors the server's status
-// code table — see errors.go.
+// one uninterrupted, byte-identical answer.
+//
+// The client also survives the loss of whole replicas. Config.Endpoints
+// holds a replica set instead of one URL: attempts pick the healthiest
+// endpoint (pick-first with health-ordered rotation over a breaker-style
+// per-replica failure memory) and rotate away from a replica on
+// transport errors, 5xx answers, shed classes and stalls. A resume the
+// surviving replica refuses with 409 resume-inconsistent — its web view
+// differs from the dead replica's — restarts the stream cleanly from
+// zero on that replica instead of failing, with Stream.Restarted raised
+// so the caller knows the delivered prefix is being re-fetched and must
+// be discarded. Against a keepalive-enabled server (webbased -keepalive),
+// Config.StallTimeout arms a per-event watchdog that kills only true
+// stalls: keepalive events reset it, so an idle-but-alive stream is
+// never mistaken for a dead one.
+//
+// When the failure is one a retry cannot change (bad query, quota,
+// strict-mode outage), iteration stops with a typed error that mirrors
+// the server's status code table — see errors.go.
 package client
 
 import (
@@ -42,8 +56,15 @@ const (
 
 // Config assembles a Client.
 type Config struct {
-	// BaseURL roots the service, e.g. "http://127.0.0.1:8080". Required.
+	// BaseURL roots the service, e.g. "http://127.0.0.1:8080". Required
+	// unless Endpoints is set.
 	BaseURL string
+	// Endpoints is the replica set for fleet failover: every entry is a
+	// base URL of one webbased replica serving the same web. Attempts
+	// pick the healthiest endpoint and rotate on transport errors, 5xx,
+	// shed classes and stalls. BaseURL, when also set, is prepended as
+	// the first (preferred) endpoint.
+	Endpoints []string
 	// APIKey authenticates as a tenant (Authorization: Bearer). Empty
 	// runs as the anonymous tenant on an open server.
 	APIKey string
@@ -63,42 +84,63 @@ type Config struct {
 	// (connect, send, response headers, first line). An attempt that
 	// blows it counts against MaxAttempts and retries. 0 disables.
 	AttemptTimeout time.Duration
+	// StallTimeout bounds the gap between events on a live stream: a
+	// stream that goes silent for longer is treated as stalled — the
+	// attempt is killed, the endpoint marked failed, and the stream
+	// reconnects and resumes elsewhere. Only sound against a server
+	// emitting keepalive events (webbased -keepalive) at a shorter
+	// interval — without them a legitimately slow object looks like a
+	// stall. 0 disables.
+	StallTimeout time.Duration
 
 	// sleep is the backoff seam; tests replace it to run instantly.
 	sleep func(context.Context, time.Duration) error
+	// now is the endpoint-bench clock seam; tests replace it.
+	now func() time.Time
 }
 
-// Client issues queries against one webbase service. Safe for concurrent
-// use; each Query returns its own Stream.
+// Client issues queries against one webbase service — or a fleet of
+// replicas serving the same web (Config.Endpoints). Safe for concurrent
+// use; each Query returns its own Stream, and all streams share the
+// per-replica failure memory.
 type Client struct {
-	baseURL        string
+	endpoints      *endpointSet
 	apiKey         string
 	hc             *http.Client
 	maxAttempts    int
 	backoffBase    time.Duration
 	backoffMax     time.Duration
 	attemptTimeout time.Duration
+	stallTimeout   time.Duration
 	sleep          func(context.Context, time.Duration) error
 	reqSeq         atomic.Int64
 }
 
 // New validates cfg and assembles a client.
 func New(cfg Config) (*Client, error) {
-	if cfg.BaseURL == "" {
-		return nil, fmt.Errorf("client: Config.BaseURL is required")
+	var urls []string
+	if cfg.BaseURL != "" {
+		urls = append(urls, cfg.BaseURL)
 	}
-	u, err := url.Parse(cfg.BaseURL)
-	if err != nil || u.Scheme == "" || u.Host == "" {
-		return nil, fmt.Errorf("client: Config.BaseURL %q is not an absolute URL", cfg.BaseURL)
+	urls = append(urls, cfg.Endpoints...)
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("client: Config.BaseURL or Config.Endpoints is required")
+	}
+	for i, raw := range urls {
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("client: endpoint %q is not an absolute URL", raw)
+		}
+		urls[i] = strings.TrimRight(raw, "/")
 	}
 	c := &Client{
-		baseURL:        strings.TrimRight(cfg.BaseURL, "/"),
 		apiKey:         cfg.APIKey,
 		hc:             cfg.HTTPClient,
 		maxAttempts:    cfg.MaxAttempts,
 		backoffBase:    cfg.BackoffBase,
 		backoffMax:     cfg.BackoffMax,
 		attemptTimeout: cfg.AttemptTimeout,
+		stallTimeout:   cfg.StallTimeout,
 		sleep:          cfg.sleep,
 	}
 	if c.hc == nil {
@@ -116,6 +158,13 @@ func New(cfg Config) (*Client, error) {
 	if c.sleep == nil {
 		c.sleep = sleepCtx
 	}
+	now := cfg.now
+	if now == nil {
+		now = time.Now
+	}
+	// The bench cooldown reuses the backoff scale: a replica's first
+	// failure benches it for one backoff base, doubling to the cap.
+	c.endpoints = newEndpointSet(urls, c.backoffBase, c.backoffMax, now)
 	return c, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // The client-side error taxonomy mirrors the server's status-code table
@@ -86,6 +87,10 @@ type APIError struct {
 	Message string
 	// RequestID identifies the request for log correlation.
 	RequestID string
+	// RetryAfter is the server's Retry-After hint (whole seconds, from
+	// the envelope's response headers), zero when absent. The client
+	// honors it on retryable 429s, capped by the backoff ceiling.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -109,19 +114,51 @@ var retryableCode = map[string]bool{
 // retryable classifies a failure for the reconnect loop: true for
 // transport-level failures (dropped connections, truncated bodies, dead
 // servers mid-restart) and for the retryable server codes; false for
-// everything whose outcome a retry cannot change. Context errors are
+// everything whose outcome a retry cannot change. With a multi-replica
+// endpoint set (failover true), 5xx answers are also retryable: the
+// failure may be local to the replica that produced it — a restarting
+// process, a replica whose breakers are open — and the rotation will
+// put the next attempt on a different replica. Context errors are
 // judged by the caller against its own context — a canceled attempt
 // watchdog looks like context.Canceled but is retryable, so the stream
 // checks its parent context before consulting this.
-func retryable(err error) bool {
+func retryable(err error, failover bool) bool {
 	var ae *APIError
 	if errors.As(err, &ae) {
-		return retryableCode[ae.Code]
+		if retryableCode[ae.Code] {
+			return true
+		}
+		return failover && ae.Status >= 500
 	}
 	if errors.Is(err, ErrProtocol) {
 		return false
 	}
 	return true
+}
+
+// endpointFault reports whether a failure indicts the endpoint that
+// produced it — the classes that feed the per-replica failure memory:
+// transport errors (including stall kills), 5xx answers, and shed
+// classes. 4xx answers say nothing about the replica's health, and a 409
+// consistency refusal is a correct answer, not a fault.
+func endpointFault(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status >= 500 || retryableCode[ae.Code]
+	}
+	if errors.Is(err, ErrProtocol) {
+		return true
+	}
+	return true // transport-level: dropped connection, truncated body, stall
+}
+
+// retryAfterOf extracts a failure's Retry-After hint, zero when absent.
+func retryAfterOf(err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.RetryAfter
+	}
+	return 0
 }
 
 // ctxErr normalizes an abort caused by the caller's context.

@@ -1,0 +1,89 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"webbase/internal/core"
+)
+
+// TestFailoverRestartDeterminism is the end-to-end 409-failover proof
+// against real replicas: the origin replica's connection dies mid-stream
+// and the resume lands on a survivor whose web view differs — the
+// survivor cleared its page cache, so its consistency token no longer
+// matches the origin's resume token. The survivor refuses with 409
+// resume-inconsistent; the client restarts from zero instead of failing
+// or splicing, and the post-restart iteration is byte-identical to a
+// healthy single-replica run against the survivor — whatever the worker
+// count.
+func TestFailoverRestartDeterminism(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			tsA, _ := newCarService(t, core.Config{Workers: workers})
+			tsB, wbB := newCarService(t, core.Config{Workers: workers})
+			// Shift the survivor's web view: the clear bumps its cache
+			// generation, so B's token can never match a resume minted by A.
+			wbB.Cache().Clear()
+
+			// Ground truth: one healthy run against the survivor alone.
+			calm, err := New(Config{BaseURL: tsB.URL})
+			if err != nil {
+				t.Fatal(err)
+			}
+			calmStream, err := calm.Query(context.Background(), wideQuery)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := drain(t, calmStream)
+
+			// The chaos client prefers A; the first /query response — A's
+			// stream — is severed after enough bytes for meta and at least
+			// one delivery.
+			c, err := New(Config{
+				Endpoints:   []string{tsA.URL, tsB.URL},
+				HTTPClient:  &http.Client{Transport: &killNth{base: http.DefaultTransport, n: 1, allow: 600}},
+				MaxAttempts: 10,
+				sleep:       noSleep,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := c.Query(context.Background(), wideQuery)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+
+			// Restart-aware drain: a Restarts() advance voids everything
+			// accumulated before it.
+			var got []string
+			restarts := 0
+			for st.Next() {
+				if r := st.Restarts(); r > restarts {
+					restarts = r
+					got = nil
+				}
+				d := st.Delivery()
+				got = append(got, fmt.Sprintf("seq=%d index=%d object=%v skipped=%q failure=%v tuples=%v",
+					d.Seq, d.Index, d.Object, d.Skipped, d.Failure, d.Tuples))
+			}
+			if st.Err() != nil {
+				t.Fatal(st.Err())
+			}
+			if st.Trailer() == nil {
+				t.Fatal("clean end without trailer")
+			}
+			if st.Restarts() != 1 {
+				t.Fatalf("restarts = %d, want 1 — the refused resume must restart from zero", st.Restarts())
+			}
+			if st.Failovers() != 1 || st.Endpoint() != tsB.URL {
+				t.Fatalf("failovers=%d endpoint=%s, want 1/%s", st.Failovers(), st.Endpoint(), tsB.URL)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("post-restart iteration differs from healthy survivor run:\n got %v\nwant %v", got, want)
+			}
+		})
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"compress/gzip"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -65,6 +67,14 @@ type Trailer struct {
 // it is exhausted, or the failure is one a retry cannot change, Next
 // returns false and Err reports the typed cause.
 //
+// With a multi-replica Client, each reconnect may land on a different
+// replica. When the new replica refuses the resume with 409
+// resume-inconsistent — its web view diverged from the replica that
+// delivered the prefix, so splicing their answers would be unsound —
+// the stream restarts from zero on that replica instead of failing:
+// Restarted flips true and every delivery is re-fetched, so a caller
+// accumulating tuples must discard what it holds when it sees the flag.
+//
 // A Stream is not safe for concurrent use.
 type Stream struct {
 	c     *Client
@@ -72,13 +82,17 @@ type Stream struct {
 	query string
 	rid   string
 
-	attempts int
-	lastErr  error
+	attempts   int
+	lastErr    error
+	ep         string // endpoint serving (or last to serve) this stream
+	failovers  int    // attempts that switched endpoints
+	restarts   int    // restart-from-zero count (409 on resume)
+	keepalives int    // keepalive events consumed
 
 	resp     *http.Response
 	body     *bufio.Reader
 	cancel   context.CancelFunc // aborts the current attempt's request context
-	watchdog *time.Timer        // per-attempt first-event watchdog
+	watchdog *time.Timer        // first-event / inter-event stall watchdog
 
 	meta    Meta
 	gotMeta bool
@@ -108,6 +122,28 @@ func (s *Stream) Err() error { return s.err }
 // Attempts reports how many connection attempts the stream has used,
 // the initial connect included.
 func (s *Stream) Attempts() int { return s.attempts }
+
+// Endpoint reports the replica serving (or last to serve) the stream.
+func (s *Stream) Endpoint() string { return s.ep }
+
+// Failovers reports how many attempts switched to a different replica.
+func (s *Stream) Failovers() int { return s.failovers }
+
+// Restarts reports how many times the stream restarted from zero after a
+// replica refused its resume (409 resume-inconsistent). Each restart
+// re-fetches the whole answer; a caller accumulating deliveries must
+// discard its prefix whenever Restarts advances between Next calls.
+func (s *Stream) Restarts() int { return s.restarts }
+
+// Restarted reports whether the stream has restarted from zero at least
+// once, i.e. whether deliveries before the most recent restart were
+// superseded by a re-fetch.
+func (s *Stream) Restarted() bool { return s.restarts > 0 }
+
+// Keepalives reports how many keepalive events the stream has consumed.
+// Keepalives are seq-less liveness probes — never surfaced as deliveries,
+// never acked — whose only effect is re-arming the stall watchdog.
+func (s *Stream) Keepalives() int { return s.keepalives }
 
 // Close releases the stream's connection. Safe to call at any point and
 // more than once; iterating a closed stream returns false.
@@ -155,6 +191,11 @@ func (s *Stream) Next() bool {
 			s.lastSeq = ev.delivery.Seq
 			s.cur = ev.delivery
 			return true
+		case "keepalive":
+			// Seq-less liveness probe. Its whole effect — re-arming the
+			// stall watchdog — already happened in readLine.
+			s.keepalives++
+			continue
 		case "trailer":
 			s.trailer = ev.trailer
 			s.done = true
@@ -183,7 +224,15 @@ func (s *Stream) recover(cause error) bool {
 		s.terminate(ctxErr(s.ctx))
 		return false
 	}
-	if !retryable(cause) {
+	if s.ep != "" && endpointFault(cause) {
+		s.c.endpoints.fail(s.ep)
+	}
+	if s.gotMeta && errors.Is(cause, ErrResumeInconsistent) {
+		// The replica refused to extend the delivered prefix: its web
+		// view diverged from the one that produced it. Splicing would be
+		// unsound (see DESIGN.md), so restart from zero instead.
+		s.restart()
+	} else if !retryable(cause, s.c.endpoints.multi()) {
 		s.terminate(cause)
 		return false
 	}
@@ -193,6 +242,16 @@ func (s *Stream) recover(cause error) bool {
 		return false
 	}
 	return true
+}
+
+// restart abandons the delivered prefix and rewinds the stream to a
+// fresh query: the next dial carries no resume parameters and the whole
+// answer is re-fetched. Restarts/Restarted surface this to the caller.
+func (s *Stream) restart() {
+	s.restarts++
+	s.gotMeta = false
+	s.meta = Meta{}
+	s.lastSeq = 0
 }
 
 func (s *Stream) terminate(err error) {
@@ -214,7 +273,17 @@ func (s *Stream) connect() error {
 		}
 		s.attempts++
 		if s.attempts > 1 {
-			if err := s.c.sleep(s.ctx, s.c.backoffDelay(s.rid, s.attempts)); err != nil {
+			// The server's Retry-After hint (429 shed classes) stretches
+			// the computed backoff when it asks for more patience, never
+			// past the backoff ceiling.
+			delay := s.c.backoffDelay(s.rid, s.attempts)
+			if ra := retryAfterOf(s.lastErr); ra > delay {
+				delay = ra
+				if delay > s.c.backoffMax {
+					delay = s.c.backoffMax
+				}
+			}
+			if err := s.c.sleep(s.ctx, delay); err != nil {
 				return err
 			}
 		}
@@ -226,7 +295,18 @@ func (s *Stream) connect() error {
 		if s.ctx.Err() != nil {
 			return ctxErr(s.ctx)
 		}
-		if !retryable(err) {
+		if s.ep != "" && endpointFault(err) {
+			s.c.endpoints.fail(s.ep)
+		}
+		if s.gotMeta && errors.Is(err, ErrResumeInconsistent) {
+			// This replica cannot extend the prefix another replica
+			// delivered; restart from zero rather than fail (a fresh
+			// query's 409 stays terminal — only a refused resume
+			// reaches here).
+			s.restart()
+			continue
+		}
+		if !retryable(err, s.c.endpoints.multi()) {
 			return err
 		}
 	}
@@ -247,10 +327,19 @@ func (s *Stream) dial() error {
 		return fmt.Errorf("%w: encoding request: %v", ErrProtocol, err)
 	}
 
+	// Each attempt asks the replica set for its healthiest endpoint and
+	// reports the outcome back: failures rotate the next attempt away
+	// from a dying replica while its peers keep serving.
+	ep := s.c.endpoints.pick()
+	if s.ep != "" && ep != s.ep {
+		s.failovers++
+	}
+	s.ep = ep
+
 	// The attempt context must outlive dial — the response body reads
 	// under it — so it is stored and canceled by closeBody, not deferred.
 	actx, cancel := context.WithCancel(s.ctx)
-	hreq, err := http.NewRequestWithContext(actx, http.MethodPost, s.c.baseURL+"/query", bytes.NewReader(payload))
+	hreq, err := http.NewRequestWithContext(actx, http.MethodPost, ep+"/query", bytes.NewReader(payload))
 	if err != nil {
 		cancel()
 		return fmt.Errorf("%w: building request: %v", ErrProtocol, err)
@@ -317,6 +406,7 @@ func (s *Stream) dial() error {
 		s.meta = *ev.meta
 		s.gotMeta = true
 	}
+	s.c.endpoints.ok(ep)
 	return nil
 }
 
@@ -334,6 +424,13 @@ func (s *Stream) readLine() ([]byte, error) {
 		return nil, err
 	}
 	s.stopWatchdog()
+	// With a stall timeout the watchdog re-arms after every event — any
+	// event, keepalives included — so only a stream that goes truly
+	// silent gets its attempt killed. Without one the first event
+	// disarms it for good (the pre-keepalive behavior).
+	if s.c.stallTimeout > 0 && s.cancel != nil {
+		s.watchdog = time.AfterFunc(s.c.stallTimeout, s.cancel)
+	}
 	return line, nil
 }
 
@@ -390,7 +487,15 @@ func decodeEnvelope(resp *http.Response) error {
 		return fmt.Errorf("%w: status %d with undecodable error envelope %q",
 			ErrProtocol, resp.StatusCode, truncate(raw, 200))
 	}
-	return env.Error.api()
+	ae := env.Error.api()
+	// Retry-After (whole seconds) rides the envelope's headers; the
+	// reconnect loop honors it on retryable codes, capped by BackoffMax.
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return ae
 }
 
 // event is one parsed NDJSON line.
@@ -486,6 +591,9 @@ func parseEvent(line []byte) (event, error) {
 			Tuples: ev.Tuples, Objects: ev.Objects, Skipped: ev.Skipped,
 			Degradation: ev.Degradation, Stats: ev.Stats,
 		}}, nil
+	case "keepalive":
+		// Liveness probe: no seq, no payload worth decoding.
+		return event{kind: "keepalive"}, nil
 	case "error":
 		var ev struct {
 			Error wireError `json:"error"`

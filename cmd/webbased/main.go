@@ -32,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -113,6 +114,7 @@ func main() {
 		stateDir    = flag.String("state-dir", "", "durable state directory: persist warmed pages, repaired maps and breaker/health verdicts across restarts (empty = no persistence)")
 		stateMax    = flag.Int64("state-max-bytes", 0, "size bound for the durable page tier; least-recently-used pages are evicted past it (0 = unbounded)")
 		recoveryBkf = flag.Duration("recovery-backoff", 0, "re-probe repair-exhausted quarantined sites in the background, starting at this interval and doubling (0 = off)")
+		keepalive   = flag.Duration("keepalive", 0, "emit a seq-less keepalive event on idle streams at this interval so clients can detect stalls (0 = off; off keeps stream bytes identical to older servers)")
 	)
 	flag.Var(&tenants, "tenant", "tenant spec name:key[:class[:quota[:window[:maxconc]]]]; repeatable. Empty = open server")
 	flag.Parse()
@@ -163,16 +165,24 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		System:       sys,
-		Tenants:      tenants,
-		Logger:       logger,
-		MaxBodyBytes: *maxBody,
+		System:            sys,
+		Tenants:           tenants,
+		Logger:            logger,
+		MaxBodyBytes:      *maxBody,
+		KeepaliveInterval: *keepalive,
 	})
 	if err != nil {
 		logger.Fatal(err)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Listen before announcing so -addr :0 logs the port the kernel
+	// actually assigned — the fleet harness boots replicas on port 0 and
+	// scrapes the address from this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	// Graceful shutdown is two phases in strict order: drain in-flight
@@ -193,8 +203,8 @@ func main() {
 			logger.Printf("state flushed to %s", *stateDir)
 		}
 	}()
-	logger.Printf("serving %s domain on %s (tenants: %s)", *domain, *addr, tenants.String())
-	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	logger.Printf("serving %s domain on %s (tenants: %s)", *domain, ln.Addr().String(), tenants.String())
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Fatal(err)
 	}
 	<-done

@@ -13,10 +13,13 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"webbase/internal/health"
 	"webbase/internal/navmap"
+	"webbase/internal/store"
+	"webbase/internal/vps"
 	"webbase/internal/web"
 )
 
@@ -35,7 +38,9 @@ const (
 
 // persistMap writes a freshly repaired, already-swapped map. The record's
 // generation field carries the map version, so a restore re-installs the
-// override at the version it was healed at.
+// override at the version it was healed at. A swap replaces the previous
+// version's record in place — map records are keyed by relation name —
+// and the superseded version counts as a map-tier eviction.
 func (wb *Webbase) persistMap(name string, version int, m *navmap.Map) {
 	if wb.store == nil {
 		return
@@ -44,13 +49,20 @@ func (wb *Webbase) persistMap(name string, version int, m *navmap.Map) {
 	if err != nil {
 		return
 	}
+	if _, prev, err := wb.store.Get(tierMaps, name); err == nil && prev != uint64(version) {
+		wb.store.CountEvicted(tierMaps)
+	}
 	wb.store.Put(tierMaps, name, uint64(version), data)
 }
 
 // restoreMaps installs every persisted repaired map as a registry
 // override at boot. A map that fails decoding, validation or the schema
 // check changes nothing and counts as corruption — the relation simply
-// serves from its base map until the next repair.
+// serves from its base map until the next repair. Boot doubles as the
+// map tier's GC pass: records that can never be restored again — a
+// relation this domain no longer serves, an undecodable payload — are
+// deleted rather than rescanned forever, counted as map-tier evictions
+// (corrupt ones were already counted as corruption too).
 func (wb *Webbase) restoreMaps() {
 	if wb.store == nil {
 		return
@@ -59,9 +71,14 @@ func (wb *Webbase) restoreMaps() {
 		m, err := navmap.DecodeMap(payload)
 		if err != nil {
 			wb.store.CountCorrupt(tierMaps)
+			wb.gcRecord(tierMaps, key)
 			return
 		}
 		if err := wb.Registry.RestoreMap(key, m, int(gen)); err != nil {
+			if errors.Is(err, vps.ErrUnknownRelation) {
+				wb.gcRecord(tierMaps, key)
+				return
+			}
 			wb.store.CountCorrupt(tierMaps)
 		}
 	})
@@ -69,12 +86,19 @@ func (wb *Webbase) restoreMaps() {
 
 // persistBreaker snapshots the open circuits. Called from the breaker's
 // OnChange hook (outside its locks) on every trip and close, so the
-// durable view tracks transitions, not a shutdown-only flush.
+// durable view tracks transitions, not a shutdown-only flush. An empty
+// snapshot — every circuit closed again — carries nothing a cold boot
+// wouldn't assume, so the stale record is GCed instead of rewritten.
 func (wb *Webbase) persistBreaker() {
 	if wb.store == nil || wb.breaker == nil {
 		return
 	}
-	data, err := json.Marshal(wb.breaker.Snapshot())
+	snap := wb.breaker.Snapshot()
+	if len(snap) == 0 {
+		wb.gcRecord(tierBreaker, breakerKey)
+		return
+	}
+	data, err := json.Marshal(snap)
 	if err != nil {
 		return
 	}
@@ -97,16 +121,27 @@ func (wb *Webbase) restoreBreaker() {
 		wb.store.CountCorrupt(tierBreaker)
 		return
 	}
+	if len(snap) == 0 {
+		// A stale record from before delete-on-empty: GC it at boot.
+		wb.gcRecord(tierBreaker, breakerKey)
+		return
+	}
 	wb.breaker.Restore(snap)
 }
 
 // persistHealth snapshots site health. Called from the tracker's OnChange
-// hook (outside its lock) on every transition.
+// hook (outside its lock) on every transition. Like the breaker tier, an
+// empty snapshot GCs the record instead of persisting emptiness.
 func (wb *Webbase) persistHealth() {
 	if wb.store == nil || wb.health == nil {
 		return
 	}
-	data, err := json.Marshal(wb.health.Snapshot())
+	snap := wb.health.Snapshot()
+	if len(snap) == 0 {
+		wb.gcRecord(tierHealth, healthKey)
+		return
+	}
+	data, err := json.Marshal(snap)
 	if err != nil {
 		return
 	}
@@ -130,7 +165,25 @@ func (wb *Webbase) restoreHealth() {
 		wb.store.CountCorrupt(tierHealth)
 		return
 	}
+	if len(snap) == 0 {
+		wb.gcRecord(tierHealth, healthKey)
+		return
+	}
 	wb.health.Restore(snap)
+}
+
+// gcRecord deletes one durable record that no longer carries information
+// — a superseded or unrestorable map, an empty snapshot — and counts the
+// eviction, but only when a record was actually present: the common case
+// (nothing there) must stay metric-silent so store_evicted_total means
+// what it says.
+func (wb *Webbase) gcRecord(tier, key string) {
+	if _, _, err := wb.store.Get(tier, key); store.IsNotExist(err) {
+		return
+	}
+	if wb.store.Delete(tier, key) == nil {
+		wb.store.CountEvicted(tier)
+	}
 }
 
 // ConsistencyToken fingerprints the webbase state a streamed answer is a

@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"webbase/internal/health"
+	"webbase/internal/navmap"
 	"webbase/internal/sites"
+	"webbase/internal/store"
 	"webbase/internal/web"
 )
 
@@ -237,29 +239,41 @@ func TestStoreRestartSurvivalBreaker(t *testing.T) {
 // touched tier counts corruption — and nothing panics.
 func TestStoreCorruptionInjectionE2E(t *testing.T) {
 	dir := t.TempDir()
-	rd1 := &web.Redesign{
+	// Populate all four tiers with live state: pages (healthy fetches),
+	// maps (a healed redesign), health (a second, unfixable redesign that
+	// exhausts repair), breaker (a downed host's open circuit). Empty
+	// snapshots are GCed rather than persisted, so each snapshot tier
+	// must hold real evidence at Close for its record file to exist.
+	rdHeal := &web.Redesign{
 		Inner:    sites.BuildWorld().Server,
 		Rewrites: map[string][]web.Rewrite{sites.NewsdayHost: {{Old: ">Automobiles<", New: ">Cars and Trucks<"}}},
 	}
-	// Populate all four tiers: pages (healthy query), maps + health (a
-	// healed redesign), breaker (snapshot flushed at Close).
-	wb1 := durableCarWebbase(t, dir, rd1, func(cfg *Config) {
-		cfg.Breaker = &web.BreakerConfig{Window: 8}
+	rdBreakAgain := &web.Redesign{
+		Inner:    rdHeal,
+		Rewrites: map[string][]web.Rewrite{sites.NewsdayHost: {{Old: ">Price<", New: ">Asking<"}}},
+	}
+	wb1 := durableCarWebbase(t, dir, downHost(sites.NYTimesHost, rdBreakAgain), func(cfg *Config) {
+		cfg.Breaker = &web.BreakerConfig{Window: 1, MinSamples: 1, Cooldown: time.Hour}
 	})
 	if _, _, err := wb1.QueryString(wideCarQuery); err != nil {
 		t.Fatal(err)
 	}
-	rd1.Activate()
+	rdHeal.Activate()
 	wb1.Cache().Clear()
 	for i := 0; i < 2; i++ {
 		if _, _, err := wb1.QueryString(wideCarQuery); err != nil {
 			t.Fatal(err)
 		}
 	}
-	wb1.SiteHealth().Wait()
-	if _, _, err := wb1.QueryString(wideCarQuery); err != nil {
-		t.Fatal(err)
+	wb1.SiteHealth().Wait() // heals: the maps tier gets its record
+	rdBreakAgain.Activate()
+	wb1.Cache().Clear()
+	for i := 0; i < 2; i++ {
+		if _, _, err := wb1.QueryString(wideCarQuery); err != nil {
+			t.Fatal(err)
+		}
 	}
+	wb1.SiteHealth().Wait() // repair exhausts: health keeps its quarantine
 	wb1.Close()
 
 	// Corrupt every record file, a different way each time.
@@ -345,6 +359,67 @@ func TestStoreCorruptionInjectionE2E(t *testing.T) {
 	if res.Degradation.Degraded() || qs.DriftDetected != 0 {
 		t.Errorf("system did not re-heal over corrupted state: degraded=%v drift=%d",
 			res.Degradation.Degraded(), qs.DriftDetected)
+	}
+}
+
+// TestStoreBootGCStaleRecords: boot is the map/snapshot tiers' GC pass.
+// A map record no boot can restore (a relation the domain does not
+// serve) and empty breaker/health snapshots (what an older binary
+// persisted on every calm transition) are deleted at boot and counted in
+// store_evicted_total{tier=...} — they would otherwise be rescanned,
+// redecoded and refused forever.
+func TestStoreBootGCStaleRecords(t *testing.T) {
+	dir := t.TempDir()
+	wb1 := durableCarWebbase(t, dir, sites.BuildWorld().Server, nil)
+	mapData, err := navmap.EncodeMap(wb1.Registry.CurrentMap("newsday"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb1.Close()
+
+	// Plant the stale records behind the webbase's back, as leftovers
+	// from an older deployment would appear.
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(tierMaps, "no-such-relation", 2, mapData); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(tierBreaker, breakerKey, 0, []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(tierHealth, healthKey, 0, []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The breaker tier only restores (and GCs) when a breaker is wired.
+	wb2 := durableCarWebbase(t, dir, sites.BuildWorld().Server, func(cfg *Config) {
+		cfg.Breaker = &web.BreakerConfig{Window: 8}
+	})
+	snap := wb2.Metrics().Snapshot()
+	for _, c := range []string{
+		`store_evicted_total{tier="maps"}`,
+		`store_evicted_total{tier="breaker"}`,
+		`store_evicted_total{tier="health"}`,
+	} {
+		if got := snap.Counters[c]; got != 1 {
+			t.Errorf("%s = %d, want 1", c, got)
+		}
+	}
+	if snap.Counters["store_corrupt_total"] != 0 {
+		t.Errorf("boot GC counted stale records as corruption: %d", snap.Counters["store_corrupt_total"])
+	}
+	for _, rec := range []struct{ tier, key string }{
+		{tierMaps, "no-such-relation"}, {tierBreaker, breakerKey}, {tierHealth, healthKey},
+	} {
+		if _, _, err := wb2.store.Get(rec.tier, rec.key); !store.IsNotExist(err) {
+			t.Errorf("stale %s/%s record survived boot GC: %v", rec.tier, rec.key, err)
+		}
+	}
+	// The GCed records changed nothing: a query runs clean.
+	if res, _, err := wb2.QueryString(wideCarQuery); err != nil || res.Degradation.Degraded() {
+		t.Fatalf("query after boot GC: err=%v degraded", err)
 	}
 }
 

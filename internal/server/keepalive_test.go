@@ -1,0 +1,128 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"webbase/internal/core"
+	"webbase/internal/sites"
+	"webbase/internal/web"
+)
+
+// Keepalive regression proofs. The -keepalive contract has two halves:
+// with it off (the default) not a single byte of any stream changes, and
+// with it on the keepalive events are pure liveness — seq-less, never
+// acked, invisible to resume numbering — so stripping them recovers the
+// exact golden stream.
+
+// slowFetcher delays every page fetch, opening real idle gaps between
+// deliveries for the keepalive ticker to fill.
+type slowFetcher struct {
+	inner web.Fetcher
+	delay time.Duration
+}
+
+func (s slowFetcher) Fetch(req *web.Request) (*web.Response, error) {
+	time.Sleep(s.delay)
+	return s.inner.Fetch(req)
+}
+
+// stripKeepalives splits a decoded stream into its real events and the
+// count of keepalive lines interleaved among them.
+func stripKeepalives(lines []map[string]any) (kept []map[string]any, keepalives int) {
+	for _, l := range lines {
+		if l["event"] == "keepalive" {
+			keepalives++
+			continue
+		}
+		kept = append(kept, l)
+	}
+	return kept, keepalives
+}
+
+// TestKeepaliveSeqlessAndStrippable: a stream served with keepalives on
+// interleaves seq-less keepalive events between deliveries, and stripping
+// them yields a stream normalized-byte-identical to one served with
+// keepalives off — the flag changes liveness, never content.
+func TestKeepaliveSeqlessAndStrippable(t *testing.T) {
+	slow := slowFetcher{inner: sites.BuildWorld().Server, delay: 20 * time.Millisecond}
+	tsOn, _ := newCarServer(t, core.Config{Workers: 1, Fetcher: slow},
+		Config{KeepaliveInterval: 4 * time.Millisecond})
+
+	resp := postQuery(t, tsOn.URL, "", wideQuery)
+	if resp.StatusCode != 200 {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	lines := decodeLines(t, resp.Body)
+	kept, keepalives := stripKeepalives(lines)
+	if keepalives == 0 {
+		t.Fatal("a 20ms-per-fetch stream under a 4ms keepalive interval emitted no keepalives")
+	}
+	for _, l := range lines {
+		if l["event"] != "keepalive" {
+			continue
+		}
+		if _, has := l["seq"]; has {
+			t.Fatalf("keepalive event carries a seq: %v — keepalives must stay outside the numbering", l)
+		}
+	}
+	for i, l := range kept {
+		if int(l["seq"].(float64)) != i {
+			t.Fatalf("real event %d carries seq %v, want %d — keepalives must not consume sequence numbers",
+				i, l["seq"], i)
+		}
+	}
+
+	// The same query on a keepalive-off server over the same deterministic
+	// world: the stripped stream must normalize to identical bytes.
+	tsOff, _ := newCarServer(t, core.Config{Workers: 1}, Config{})
+	respOff := postQuery(t, tsOff.URL, "", wideQuery)
+	if respOff.StatusCode != 200 {
+		t.Fatalf("keepalive-off stream status = %d", respOff.StatusCode)
+	}
+	linesOff := decodeLines(t, respOff.Body)
+	if got, want := normalizeStream(t, kept), normalizeStream(t, linesOff); got != want {
+		t.Fatalf("stripped keepalive-on stream differs from keepalive-off stream:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestResumeAcrossKeepalive: resuming a stream that interleaved keepalives
+// stitches byte-identically at every kill point. Keepalives are never
+// acked — Last-Event-Index counts only real events — so if they leaked
+// into the numbering, suppression would miscount and some stitch would
+// duplicate or drop a delivery.
+func TestResumeAcrossKeepalive(t *testing.T) {
+	slow := slowFetcher{inner: sites.BuildWorld().Server, delay: 20 * time.Millisecond}
+	ts, _ := newCarServer(t, core.Config{Workers: 1, Fetcher: slow},
+		Config{KeepaliveInterval: 4 * time.Millisecond})
+
+	resp := postQuery(t, ts.URL, "", wideQuery)
+	if resp.StatusCode != 200 {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	kept, keepalives := stripKeepalives(decodeLines(t, resp.Body))
+	if keepalives == 0 {
+		t.Fatal("original stream interleaved no keepalives — the resume would cross nothing")
+	}
+	token, _ := kept[0]["resume_token"].(string)
+	if token == "" {
+		t.Fatal("meta carries no resume_token")
+	}
+	want := normalizeStream(t, deepCopyLines(t, kept))
+	for k := 0; k < len(kept)-1; k++ {
+		resp := postResume(t, ts.URL, wideQuery, k, token)
+		if resp.StatusCode != 200 {
+			t.Fatalf("resume at k=%d: status = %d", k, resp.StatusCode)
+		}
+		resumed, _ := stripKeepalives(decodeLines(t, resp.Body))
+		for _, l := range resumed {
+			if int(l["seq"].(float64)) <= k {
+				t.Fatalf("resume at k=%d re-sent suppressed event seq=%v", k, l["seq"])
+			}
+		}
+		stitched := append(deepCopyLines(t, kept[:k+1]), resumed...)
+		if got := normalizeStream(t, stitched); got != want {
+			t.Fatalf("resume at k=%d across keepalives stitches differently:\n got %s\nwant %s", k, got, want)
+		}
+	}
+}

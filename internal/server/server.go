@@ -61,16 +61,25 @@ type Config struct {
 	Clock func() time.Time
 	// MaxBodyBytes bounds the request body; 0 means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// KeepaliveInterval, when positive, emits a seq-less keepalive event
+	// on every committed stream each time the interval elapses between
+	// real events, so clients can arm a stall watchdog that idle-but-
+	// alive streams never trip. Keepalives carry no sequence number and
+	// are invisible to resume accounting. Zero (the default) disables
+	// them entirely: every stream's bytes are identical to a server
+	// without the feature.
+	KeepaliveInterval time.Duration
 }
 
 // Server handles the query service's three routes. Build one with New
 // and mount Handler on any http.Server.
 type Server struct {
-	sys     *core.Webbase
-	tenants *tenantSet
-	logger  *log.Logger
-	maxBody int64
-	reqSeq  atomic.Int64
+	sys       *core.Webbase
+	tenants   *tenantSet
+	logger    *log.Logger
+	maxBody   int64
+	keepalive time.Duration
+	reqSeq    atomic.Int64
 }
 
 // New validates cfg and assembles the server.
@@ -90,7 +99,8 @@ func New(cfg Config) (*Server, error) {
 	if maxBody <= 0 {
 		maxBody = DefaultMaxBodyBytes
 	}
-	return &Server{sys: cfg.System, tenants: tenants, logger: logger, maxBody: maxBody}, nil
+	return &Server{sys: cfg.System, tenants: tenants, logger: logger, maxBody: maxBody,
+		keepalive: cfg.KeepaliveInterval}, nil
 }
 
 // Handler returns the route mux: POST /query, GET /metrics, GET /healthz.
@@ -158,6 +168,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	ctx := core.WithQueryClass(r.Context(), tenant.Class)
 	sw := newStreamWriter(w, rid, q.String(), q.Output, token, resumeFrom, gzipAccepted(r))
+	// The ticker (if configured) is the one writer outside the gate's
+	// serialization; the terminal-event writers stop it themselves, and
+	// the defer covers the pre-stream envelope paths below.
+	sw.startKeepalive(s.keepalive)
+	defer sw.stopKeepalive()
 	res, qs, tr, err := s.sys.QueryStreamTraced(ctx, q, sw.writeDelivery)
 	if tr != nil {
 		// Request identity on the root span: a Label, not a Set, because
@@ -332,6 +347,12 @@ type errorEnvelope struct {
 func writeEnvelope(w http.ResponseWriter, body errorBody) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Request-Id", body.RequestID)
+	if body.Status == http.StatusTooManyRequests && body.Code != "quota-exhausted" {
+		// Shed and saturation clear as soon as load drains or a stream
+		// slot frees; hint clients to pause a beat before retrying. A
+		// spent quota needs its window to roll, so no hint there.
+		w.Header().Set("Retry-After", "1")
+	}
 	w.WriteHeader(body.Status)
 	json.NewEncoder(w).Encode(errorEnvelope{Error: body})
 }

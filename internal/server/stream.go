@@ -4,6 +4,8 @@ import (
 	"compress/gzip"
 	"encoding/json"
 	"net/http"
+	"sync"
+	"time"
 
 	"webbase/internal/core"
 	"webbase/internal/relation"
@@ -80,6 +82,15 @@ type skippedEvent struct {
 	Reason string   `json:"reason"`
 }
 
+// keepaliveEvent is a seq-less liveness probe: emitted on a timer while
+// evaluation sits between deliveries, so a client watchdog can tell an
+// idle-but-alive stream from a stalled one. It carries no sequence
+// number, is never acked by a resume, and never counts toward resume
+// numbering — suppression and seq continuation see only real events.
+type keepaliveEvent struct {
+	Event string `json:"event"` // "keepalive"
+}
+
 // errorBody is the error payload shared by mid-stream error events and
 // pre-stream error envelopes.
 type errorBody struct {
@@ -117,10 +128,11 @@ type degradationReport struct {
 	Report      string           `json:"report"`
 }
 
-// streamWriter writes the NDJSON protocol onto one response. Writes are
-// already serialized — deliveries come through the plan-order gate and
-// the trailer is written after evaluation joins its workers — so the
-// writer needs no lock of its own.
+// streamWriter writes the NDJSON protocol onto one response. Deliveries
+// come through the plan-order gate and the trailer is written after
+// evaluation joins its workers, so those writers are serialized among
+// themselves — but the keepalive ticker is an out-of-band goroutine that
+// writes between deliveries, so every write path takes mu.
 //
 // resumeFrom >= 0 turns the writer into the suppressed tail of a resumed
 // stream: the meta event and every delivery with seq <= resumeFrom are
@@ -129,6 +141,7 @@ type degradationReport struct {
 // error) are never suppressed — a resume means the client did not see the
 // stream end.
 type streamWriter struct {
+	mu      sync.Mutex
 	w       http.ResponseWriter
 	flusher http.Flusher
 	gz      *gzip.Writer
@@ -140,6 +153,9 @@ type streamWriter struct {
 	lastSeq    int // highest delivery seq observed, sent or suppressed
 	skipped    int // events suppressed by resume (meta included)
 	useGzip    bool
+
+	kaStop chan struct{} // closes to stop the keepalive ticker
+	kaDone chan struct{} // closes when the ticker goroutine has exited
 }
 
 func newStreamWriter(w http.ResponseWriter, rid, query string, schema []string, token string, resumeFrom int, useGzip bool) *streamWriter {
@@ -152,11 +168,11 @@ func newStreamWriter(w http.ResponseWriter, rid, query string, schema []string, 
 	}
 }
 
-// start commits the response to a 200 NDJSON stream and emits the meta
-// event (suppressed on a resume — the client has it). Idempotent; called
-// lazily by the first event so pre-stream failures can still use a
-// proper status code.
-func (sw *streamWriter) start() {
+// startLocked commits the response to a 200 NDJSON stream and emits the
+// meta event (suppressed on a resume — the client has it). Idempotent;
+// called lazily by the first event so pre-stream failures can still use
+// a proper status code. Callers hold mu.
+func (sw *streamWriter) startLocked() {
 	if sw.started {
 		return
 	}
@@ -176,10 +192,10 @@ func (sw *streamWriter) start() {
 		sw.skipped++ // the meta event, seq 0, already delivered originally
 		return
 	}
-	sw.emit(sw.meta)
+	sw.emitLocked(sw.meta)
 }
 
-func (sw *streamWriter) emit(event any) {
+func (sw *streamWriter) emitLocked(event any) {
 	sw.enc.Encode(event) // an aborted client surfaces at the next write; nothing to do here
 	if sw.gz != nil {
 		// Push the event out of the compressor: resumability depends on the
@@ -191,18 +207,65 @@ func (sw *streamWriter) emit(event any) {
 	}
 }
 
-// finish closes the compression layer (if any) after the terminal event.
-func (sw *streamWriter) finish() {
+// finishLocked closes the compression layer (if any) after the terminal
+// event. Callers hold mu and have already stopped the keepalive ticker.
+func (sw *streamWriter) finishLocked() {
 	if sw.gz != nil {
 		sw.gz.Close()
 	}
+}
+
+// startKeepalive launches the keepalive ticker: every interval it emits
+// one seq-less keepalive event, flushed through the compression layer
+// like any other event, but only once the stream has committed — a query
+// still failing pre-stream keeps its accurate error envelope. A zero
+// interval (the default) is a no-op: not a single byte of any stream
+// changes, which is what keeps the golden stream tests byte-identical.
+func (sw *streamWriter) startKeepalive(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	sw.kaStop = make(chan struct{})
+	sw.kaDone = make(chan struct{})
+	go func() {
+		defer close(sw.kaDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-sw.kaStop:
+				return
+			case <-t.C:
+				sw.mu.Lock()
+				if sw.started {
+					sw.emitLocked(keepaliveEvent{Event: "keepalive"})
+				}
+				sw.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// stopKeepalive stops the ticker and waits for its goroutine to exit, so
+// after it returns no keepalive can interleave with a terminal event or
+// land on a closed gzip writer. Idempotent; a no-op when keepalives were
+// never started.
+func (sw *streamWriter) stopKeepalive() {
+	if sw.kaStop == nil {
+		return
+	}
+	close(sw.kaStop)
+	<-sw.kaDone
+	sw.kaStop = nil
 }
 
 // writeDelivery ships one gate delivery as its wire event. Deliveries at
 // or before the resume offset were already delivered to this client by a
 // previous attempt: they are acked but not re-sent.
 func (sw *streamWriter) writeDelivery(d ur.ObjectDelivery) {
-	sw.start()
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.startLocked()
 	if d.Seq > sw.lastSeq {
 		sw.lastSeq = d.Seq
 	}
@@ -212,11 +275,11 @@ func (sw *streamWriter) writeDelivery(d ur.ObjectDelivery) {
 	}
 	switch {
 	case d.Failure != nil:
-		sw.emit(unavailableEvent{Event: "unavailable", Seq: d.Seq, Index: d.Index, Object: d.Object, Failure: *d.Failure})
+		sw.emitLocked(unavailableEvent{Event: "unavailable", Seq: d.Seq, Index: d.Index, Object: d.Object, Failure: *d.Failure})
 	case d.Skipped != "":
-		sw.emit(skippedEvent{Event: "skipped", Seq: d.Seq, Index: d.Index, Object: d.Object, Reason: d.Skipped})
+		sw.emitLocked(skippedEvent{Event: "skipped", Seq: d.Seq, Index: d.Index, Object: d.Object, Reason: d.Skipped})
 	default:
-		sw.emit(tuplesEvent{Event: "tuples", Seq: d.Seq, Index: d.Index, Object: d.Object,
+		sw.emitLocked(tuplesEvent{Event: "tuples", Seq: d.Seq, Index: d.Index, Object: d.Object,
 			Buffered: d.Buffered, Count: len(d.Tuples), Tuples: encodeTuples(d.Tuples)})
 	}
 }
@@ -225,7 +288,10 @@ func (sw *streamWriter) writeDelivery(d ur.ObjectDelivery) {
 // continues the delivery numbering — suppressed deliveries count — so a
 // stitched resumed stream is numbered exactly like an uninterrupted one.
 func (sw *streamWriter) writeTrailer(res *ur.Result, qs *core.QueryStats) {
-	sw.start()
+	sw.stopKeepalive()
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.startLocked()
 	ev := trailerEvent{
 		Event:   "trailer",
 		Seq:     sw.lastSeq + 1,
@@ -241,15 +307,18 @@ func (sw *streamWriter) writeTrailer(res *ur.Result, qs *core.QueryStats) {
 			Report:      res.Degradation.String(),
 		}
 	}
-	sw.emit(ev)
-	sw.finish()
+	sw.emitLocked(ev)
+	sw.finishLocked()
 }
 
 // writeErrorEvent ends a stream whose query failed after events were
 // already written.
 func (sw *streamWriter) writeErrorEvent(body errorBody) {
-	sw.emit(errorEvent{Event: "error", Seq: sw.lastSeq + 1, Error: body})
-	sw.finish()
+	sw.stopKeepalive()
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.emitLocked(errorEvent{Event: "error", Seq: sw.lastSeq + 1, Error: body})
+	sw.finishLocked()
 }
 
 // encodeTuples renders tuples as JSON arrays of native values (null,

@@ -193,7 +193,7 @@ func (t *PageTier) evictLocked() {
 		delete(t.sizes, victim)
 		delete(t.touch, victim)
 		t.store.Delete(pagesTier, victim)
-		t.store.countEvicted(pagesTier)
+		t.store.CountEvicted(pagesTier)
 	}
 }
 

@@ -187,10 +187,12 @@ func (s *Store) CountCorrupt(tier string) {
 	s.metrics.Counter(`store_corrupt_total{tier="` + tier + `"}`).Add(1)
 }
 
-// countEvicted counts one size-bound eviction against a tier
-// (store_evicted_total{tier=...}). Registered lazily, so a store without
-// size bounds renders the historical /metrics page byte-identically.
-func (s *Store) countEvicted(tier string) {
+// CountEvicted counts one eviction against a tier
+// (store_evicted_total{tier=...}): a page evicted past the size bound,
+// a superseded map version, or a stale snapshot GCed at boot or on
+// transition. Registered lazily, so a store that never evicts renders
+// the historical /metrics page byte-identically.
+func (s *Store) CountEvicted(tier string) {
 	if s == nil || s.metrics == nil {
 		return
 	}

@@ -58,7 +58,11 @@ type ObjectDelivery struct {
 }
 
 // ObjectSink receives deliveries in plan order. Calls are serialized by
-// the gate; the sink must not re-enter evaluation.
+// the gate; the sink must not re-enter evaluation. The gate's
+// serialization covers only its own calls: a sink that is also written
+// by out-of-band goroutines — the server's keepalive ticker emits
+// liveness events between deliveries — must carry its own lock, because
+// the gate neither knows about nor orders those writers.
 type ObjectSink func(ObjectDelivery)
 
 // streamGate buffers out-of-order object completions and releases them
